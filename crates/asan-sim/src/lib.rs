@@ -1,0 +1,30 @@
+//! # asan-sim — an AddressSanitizer model baseline
+//!
+//! The CSOD paper compares against ASan configured for heap-overflow
+//! detection with minimal (16-byte) redzones and *without* instrumenting
+//! external libraries. This crate models exactly the mechanisms that
+//! comparison depends on:
+//!
+//! * [shadow memory](ShadowMemory) at one entry per 8-byte granule with
+//!   partial-granule encoding,
+//! * redzones around every interposed allocation and a byte-capped
+//!   [free-quarantine](Quarantine) for use-after-free,
+//! * per-access checks *only in instrumented modules* — reproducing
+//!   ASan's blind spot for the Libtiff/LibHX/Zziplib in-library bugs,
+//! * per-access and per-allocation tool costs so Figure 7's
+//!   "checking every memory access" overhead shape emerges naturally.
+//!
+//! See [`Asan`] for an end-to-end example.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod asan;
+mod quarantine;
+mod report;
+mod shadow;
+
+pub use asan::{Asan, AsanConfig, AsanError, AsanStats};
+pub use quarantine::{Quarantine, QuarantinedBlock};
+pub use report::{AsanReport, BugKind};
+pub use shadow::{ShadowMemory, ShadowState, ShadowVerdict, GRANULE};

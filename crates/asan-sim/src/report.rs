@@ -1,0 +1,66 @@
+//! ASan-style bug reports.
+
+use sim_machine::{AccessKind, SiteToken, ThreadId, VirtAddr};
+use std::fmt;
+
+/// The bug classes the ASan model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BugKind {
+    /// Access into a redzone.
+    HeapBufferOverflow,
+    /// Access into quarantined (freed) memory.
+    UseAfterFree,
+}
+
+impl fmt::Display for BugKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BugKind::HeapBufferOverflow => f.write_str("heap-buffer-overflow"),
+            BugKind::UseAfterFree => f.write_str("heap-use-after-free"),
+        }
+    }
+}
+
+/// One report produced by the ASan model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsanReport {
+    /// Bug class.
+    pub bug: BugKind,
+    /// Read or write.
+    pub access: AccessKind,
+    /// First poisoned byte touched.
+    pub addr: VirtAddr,
+    /// The accessing thread.
+    pub thread: ThreadId,
+    /// The statement performing the access.
+    pub site: SiteToken,
+}
+
+impl fmt::Display for AsanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ERROR: AddressSanitizer: {} on address {} ({} of {} by {})",
+            self.bug, self.addr, self.access, self.site, self.thread
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mimics_asan_banner() {
+        let r = AsanReport {
+            bug: BugKind::HeapBufferOverflow,
+            access: AccessKind::Read,
+            addr: VirtAddr::new(0x602000000050),
+            thread: ThreadId::MAIN,
+            site: SiteToken(4),
+        };
+        let text = r.to_string();
+        assert!(text.contains("AddressSanitizer: heap-buffer-overflow"));
+        assert!(text.contains("read"));
+    }
+}

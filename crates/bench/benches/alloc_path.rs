@@ -1,0 +1,91 @@
+//! Real wall-clock cost of the allocation fast path — the component the
+//! paper identifies as CSOD's major overhead source (Section V-B).
+
+use asan_sim::{Asan, AsanConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use csod_core::{Csod, CsodConfig};
+use csod_ctx::{CallingContext, ContextKey, FrameTable};
+use sim_heap::{HeapConfig, SimHeap};
+use sim_machine::{Machine, ThreadId};
+use std::sync::Arc;
+
+fn bench_alloc_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("malloc_free_pair");
+
+    group.bench_function("baseline", |b| {
+        let mut machine = Machine::new();
+        let mut heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+        b.iter(|| {
+            let p = heap.malloc(&mut machine, 64).unwrap();
+            heap.free(&mut machine, p).unwrap();
+        });
+    });
+
+    group.bench_function("csod_evidence", |b| {
+        let frames = Arc::new(FrameTable::new());
+        let mut machine = Machine::new();
+        let mut heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+        let mut csod = Csod::new(CsodConfig::default(), Arc::clone(&frames));
+        let ctx = CallingContext::from_locations(&frames, ["a.c:1", "main.c:2"]);
+        let key = ContextKey::new(ctx.first_level().unwrap(), 0x40);
+        b.iter(|| {
+            let p = csod
+                .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || ctx.clone())
+                .unwrap();
+            csod.free(&mut machine, &mut heap, ThreadId::MAIN, p).unwrap();
+        });
+    });
+
+    group.bench_function("csod_no_evidence", |b| {
+        let frames = Arc::new(FrameTable::new());
+        let mut machine = Machine::new();
+        let mut heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+        let mut csod = Csod::new(CsodConfig::without_evidence(), Arc::clone(&frames));
+        let ctx = CallingContext::from_locations(&frames, ["a.c:1", "main.c:2"]);
+        let key = ContextKey::new(ctx.first_level().unwrap(), 0x40);
+        b.iter(|| {
+            let p = csod
+                .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || ctx.clone())
+                .unwrap();
+            csod.free(&mut machine, &mut heap, ThreadId::MAIN, p).unwrap();
+        });
+    });
+
+    group.bench_function("asan", |b| {
+        let mut machine = Machine::new();
+        let mut heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+        let mut asan = Asan::new(AsanConfig {
+            quarantine_bytes: 0, // immediate reuse keeps the bench steady
+            ..AsanConfig::default()
+        });
+        b.iter(|| {
+            let p = asan.malloc(&mut machine, &mut heap, 64).unwrap();
+            asan.free(&mut machine, &mut heap, p).unwrap();
+        });
+    });
+
+    group.finish();
+
+    // First-seen contexts pay the full-backtrace path once.
+    c.bench_function("csod_malloc_first_seen_context", |b| {
+        b.iter_batched(
+            || {
+                let frames = Arc::new(FrameTable::new());
+                let mut machine = Machine::new();
+                let heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+                let csod = Csod::new(CsodConfig::default(), Arc::clone(&frames));
+                let ctx = CallingContext::from_locations(&frames, ["fresh.c:1", "main.c:2"]);
+                let key = ContextKey::new(ctx.first_level().unwrap(), 0x40);
+                (machine, heap, csod, ctx, key)
+            },
+            |(mut machine, mut heap, mut csod, ctx, key)| {
+                csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || ctx.clone())
+                    .unwrap()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_alloc_path);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Cost of the context hash table and the per-thread generator — the two
+//! data structures on CSOD's allocation fast path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csod_ctx::{ContextKey, ContextTable, FrameTable};
+use csod_rng::Arc4Random;
+
+fn bench_context_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("context_table_lookup");
+    for &contexts in &[10usize, 100, 1_000, 10_000] {
+        let frames = FrameTable::new();
+        let table: ContextTable<u64> = ContextTable::new();
+        let keys: Vec<ContextKey> = (0..contexts)
+            .map(|i| ContextKey::new(frames.intern(&format!("site{i}.c:1")), 0x40))
+            .collect();
+        for &k in &keys {
+            table.with_entry(k, || 0, |_| ());
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(contexts),
+            &contexts,
+            |b, _| {
+                let mut i = 0;
+                b.iter(|| {
+                    let k = keys[i % keys.len()];
+                    i += 1;
+                    table.with_entry(k, || 0, |v| *v += 1)
+                });
+            },
+        );
+    }
+    group.finish();
+
+    c.bench_function("context_key_bucket_hash", |b| {
+        let frames = FrameTable::new();
+        let key = ContextKey::new(frames.intern("hot.c:1"), 0x1240);
+        b.iter(|| key.bucket(4096));
+    });
+}
+
+fn bench_context_tree(c: &mut Criterion) {
+    use csod_ctx::{CallingContext, ContextTree};
+    let frames = FrameTable::new();
+    let tree = ContextTree::new();
+    let contexts: Vec<CallingContext> = (0..500)
+        .map(|i| {
+            CallingContext::from_locations(
+                &frames,
+                [
+                    format!("leaf_{i}.c:1"),
+                    format!("layer{}.c:2", i % 11),
+                    "dispatch.c:3".to_string(),
+                    "main.c:4".to_string(),
+                ]
+                .iter()
+                .map(String::as_str),
+            )
+        })
+        .collect();
+    for ctx in &contexts {
+        tree.intern(ctx);
+    }
+    c.bench_function("context_tree_intern_hot", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let id = tree.intern(&contexts[i % contexts.len()]);
+            i += 1;
+            id
+        });
+    });
+    let id = tree.intern(&contexts[0]);
+    c.bench_function("context_tree_materialize_depth4", |b| {
+        b.iter(|| tree.materialize(id));
+    });
+}
+
+fn bench_tcache(c: &mut Criterion) {
+    use sim_heap::{HeapConfig, SimHeap, TcacheConfig, ThreadCachedHeap};
+    use sim_machine::{Machine, ThreadId};
+
+    c.bench_function("tcache_hit_malloc_free", |b| {
+        let mut machine = Machine::new();
+        let mut heap =
+            ThreadCachedHeap::new(&mut machine, HeapConfig::default(), TcacheConfig::default())
+                .unwrap();
+        // Prime the cache.
+        let p = heap.malloc(&mut machine, ThreadId::MAIN, 64).unwrap();
+        heap.free(&mut machine, ThreadId::MAIN, p).unwrap();
+        b.iter(|| {
+            let p = heap.malloc(&mut machine, ThreadId::MAIN, 64).unwrap();
+            heap.free(&mut machine, ThreadId::MAIN, p).unwrap();
+        });
+    });
+    c.bench_function("central_heap_malloc_free", |b| {
+        let mut machine = Machine::new();
+        let mut heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+        b.iter(|| {
+            let p = heap.malloc(&mut machine, 64).unwrap();
+            heap.free(&mut machine, p).unwrap();
+        });
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("arc4random_next_u32", |b| {
+        let mut rng = Arc4Random::from_seed(1, 0);
+        b.iter(|| rng.next_u32());
+    });
+    c.bench_function("arc4random_chance_ppm", |b| {
+        let mut rng = Arc4Random::from_seed(1, 0);
+        b.iter(|| rng.chance_ppm(500_000));
+    });
+}
+
+criterion_group!(benches, bench_context_table, bench_context_tree, bench_tcache, bench_rng);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! End-to-end throughput: one full effectiveness execution per iteration
+//! (the unit Table II repeats 1,000 times) and one scaled performance
+//! run (the unit Figure 7 measures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csod_core::CsodConfig;
+use workloads::{BuggyApp, PerfApp, ToolSpec, TraceRunner};
+
+fn bench_effectiveness_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("effectiveness_execution");
+    group.sample_size(20);
+    for name in ["zziplib", "memcached", "libdwarf"] {
+        let app = BuggyApp::by_name(name).expect("known app");
+        let registry = app.registry();
+        let trace = app.trace(42);
+        group.bench_with_input(BenchmarkId::from_parameter(app.name), &(), |b, ()| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut config = CsodConfig::with_seed(seed);
+                config.evidence_path = None;
+                TraceRunner::new(&registry, ToolSpec::Csod(config)).run(trace.iter().copied())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_perf_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf_execution");
+    group.sample_size(10);
+    for name in ["streamcluster", "freqmine"] {
+        let mut app = PerfApp::by_name(name).expect("known app");
+        // Trimmed base work keeps the benchmark itself quick.
+        app.base_accesses /= 10;
+        app.base_compute /= 10;
+        let registry = app.registry();
+        group.bench_with_input(BenchmarkId::from_parameter(app.name), &(), |b, ()| {
+            b.iter(|| app.run(&registry, ToolSpec::Csod(CsodConfig::default()), 7));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effectiveness_run, bench_perf_run);
+criterion_main!(benches);

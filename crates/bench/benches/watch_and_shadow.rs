@@ -1,0 +1,93 @@
+//! Watchpoint install/remove cycles (CSOD's slow path) and shadow-memory
+//! checks (ASan's fast path).
+
+use asan_sim::ShadowMemory;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csod_core::{CtxId, ReplacementPolicy, WatchCandidate, WatchpointManager};
+use csod_ctx::{ContextKey, FrameTable};
+use csod_rng::Arc4Random;
+use sim_machine::{Machine, VirtAddr, VirtDuration};
+
+fn bench_watchpoints(c: &mut Criterion) {
+    let mut group = c.benchmark_group("watchpoint_cycle");
+    for &threads in &[1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("install_remove", threads), &threads, |b, &t| {
+            let frames = FrameTable::new();
+            let mut machine = Machine::new();
+            machine.map_region(VirtAddr::new(0x10_0000), 1 << 16, "heap").unwrap();
+            for _ in 1..t {
+                machine.spawn_thread();
+            }
+            let mut manager =
+                WatchpointManager::new(ReplacementPolicy::NearFifo, VirtDuration::from_secs(10));
+            let mut rng = Arc4Random::from_seed(1, 0);
+            let candidate = WatchCandidate {
+                object_start: VirtAddr::new(0x10_0000),
+                canary_addr: VirtAddr::new(0x10_0040),
+                key: ContextKey::new(frames.intern("a.c:1"), 0x40),
+                ctx_id: CtxId::from_index(0),
+                probability_ppm: 500_000,
+            };
+            b.iter(|| {
+                manager.consider(&mut machine, candidate, &mut rng, |_| None);
+                manager.remove_by_object(&mut machine, candidate.object_start);
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("watchpoint_replacement_full_slots", |b| {
+        let frames = FrameTable::new();
+        let mut machine = Machine::new();
+        machine.map_region(VirtAddr::new(0x10_0000), 1 << 16, "heap").unwrap();
+        let mut manager =
+            WatchpointManager::new(ReplacementPolicy::Random, VirtDuration::from_secs(10));
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let cand = |i: u64, prob: u32| WatchCandidate {
+            object_start: VirtAddr::new(0x10_0000 + i * 64),
+            canary_addr: VirtAddr::new(0x10_0038 + i * 64),
+            key: ContextKey::new(frames.intern(&format!("s{i}.c:1")), 0x40),
+            ctx_id: CtxId::from_index(i as u32),
+            probability_ppm: prob,
+        };
+        for i in 0..4 {
+            manager.consider(&mut machine, cand(i, 100), &mut rng, |_| None);
+        }
+        let mut n = 4u64;
+        b.iter(|| {
+            // Alternate winning replacements so each iteration replaces.
+            let prob = if n.is_multiple_of(2) { 200 } else { 300 };
+            let outcome = manager.consider(&mut machine, cand(n % 64, prob), &mut rng, |_| None);
+            n += 1;
+            outcome
+        });
+    });
+}
+
+fn bench_shadow(c: &mut Criterion) {
+    let mut shadow = ShadowMemory::new();
+    let obj = VirtAddr::new(0x7f00_0000_0000);
+    shadow.unpoison_object(obj, 4096);
+    shadow.poison_redzone(obj + 4096, 16);
+
+    c.bench_function("shadow_check_clean_8b", |b| {
+        b.iter(|| shadow.check(obj + 128, 8));
+    });
+    c.bench_function("shadow_check_clean_64b", |b| {
+        b.iter(|| shadow.check(obj + 128, 64));
+    });
+    c.bench_function("shadow_check_redzone_hit", |b| {
+        b.iter(|| shadow.check(obj + 4090, 16));
+    });
+    c.bench_function("shadow_poison_unpoison_64b_object", |b| {
+        let mut s = ShadowMemory::new();
+        b.iter(|| {
+            s.unpoison_object(obj, 64);
+            s.poison_redzone(obj, 64);
+            s.clear(obj, 64);
+        });
+    });
+}
+
+criterion_group!(benches, bench_watchpoints, bench_shadow);
+criterion_main!(benches);

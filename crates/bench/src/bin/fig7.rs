@@ -1,0 +1,105 @@
+//! Figure 7: performance overhead of CSOD vs ASan, normalized to the
+//! unprotected execution, on the nineteen performance applications.
+//!
+//! Four series, as in the paper: CSOD without evidence-based detection,
+//! full CSOD, ASan with minimal (16-byte) redzones, and ASan with its
+//! larger default redzones. Freqmine is omitted for ASan ("due to a
+//! program crash in our evaluation environment").
+
+use asan_sim::AsanConfig;
+use csod_bench::{header, row};
+use csod_core::CsodConfig;
+use workloads::{PerfApp, ToolSpec};
+
+fn main() {
+    // `--csv` prints machine-readable rows for plotting instead of the
+    // aligned table.
+    let csv = std::env::args().any(|a| a == "--csv");
+    if csv {
+        println!("application,csod_no_evidence,csod,asan_min_redzone,asan");
+    } else {
+        header("Figure 7: normalized overhead (1.00 = unprotected baseline)");
+    }
+    let widths = [14, 14, 8, 12, 8];
+    if !csv {
+        println!(
+            "{}",
+            row(
+                &[
+                    "Application".into(),
+                    "CSOD w/o Evi".into(),
+                    "CSOD".into(),
+                    "ASan minRZ".into(),
+                    "ASan".into(),
+                ],
+                &widths
+            )
+        );
+    }
+    let mut sums = [0.0f64; 4];
+    let mut counts = [0usize; 4];
+    for app in PerfApp::all() {
+        let registry = app.registry();
+        let asan_crashes = app.name == "Freqmine";
+        let mut cells = vec![app.name.to_string()];
+        let specs: Vec<Option<ToolSpec>> = vec![
+            Some(ToolSpec::Csod(CsodConfig::without_evidence())),
+            Some(ToolSpec::Csod(CsodConfig::default())),
+            (!asan_crashes).then(|| ToolSpec::Asan {
+                config: AsanConfig {
+                    redzone_size: 16,
+                    ..AsanConfig::default()
+                },
+                instrumented: app.asan_instrumented(),
+            }),
+            (!asan_crashes).then(|| ToolSpec::Asan {
+                config: AsanConfig {
+                    redzone_size: 64,
+                    ..AsanConfig::default()
+                },
+                instrumented: app.asan_instrumented(),
+            }),
+        ];
+        for (i, spec) in specs.into_iter().enumerate() {
+            match spec {
+                Some(spec) => {
+                    let outcome = app.run(&registry, spec, 1);
+                    sums[i] += outcome.overhead;
+                    counts[i] += 1;
+                    cells.push(format!("{:.3}", outcome.overhead));
+                }
+                None => cells.push("-".into()),
+            }
+        }
+        if csv {
+            println!("{}", cells.join(","));
+        } else {
+            println!("{}", row(&cells, &widths));
+        }
+    }
+    let avg: Vec<String> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| format!("{:.3}", s / c as f64))
+        .collect();
+    if csv {
+        println!("average,{},{},{},{}", avg[0], avg[1], avg[2], avg[3]);
+    } else {
+        println!(
+            "{}",
+            row(
+                &[
+                    "Average".into(),
+                    avg[0].clone(),
+                    avg[1].clone(),
+                    avg[2].clone(),
+                    avg[3].clone()
+                ],
+                &widths
+            )
+        );
+        println!(
+            "\npaper: CSOD w/o evidence 4.3% avg, CSOD 6.7% avg, ASan ~39% (ASan figures\nexclude external-library instrumentation; see EXPERIMENTS.md for shape notes)"
+        );
+    }
+}

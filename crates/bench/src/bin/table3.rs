@@ -1,0 +1,61 @@
+//! Table III: detailed information of applications with bugs —
+//! total contexts/allocations and those before the overflow, measured
+//! from the generated traces (a consistency check that the workload
+//! models realize their Table III parameters).
+
+use csod_bench::{header, row};
+use std::collections::HashSet;
+use workloads::{BuggyApp, Event};
+
+fn main() {
+    header("Table III: contexts and allocations, total and before the overflow");
+    let widths = [18, 10, 12, 10, 12];
+    println!(
+        "{}",
+        row(
+            &[
+                "Application".into(),
+                "Total CC".into(),
+                "Total Allocs".into(),
+                "CC Before".into(),
+                "Allocs Before".into(),
+            ],
+            &widths
+        )
+    );
+    for app in BuggyApp::all() {
+        let trace = app.trace(42);
+        let mut total_allocs = 0u64;
+        let mut allocs_before = 0u64;
+        let mut contexts = HashSet::new();
+        let mut contexts_before = 0usize;
+        let mut seen_overflow = false;
+        for event in &trace {
+            match event {
+                Event::Malloc { site, .. } => {
+                    total_allocs += 1;
+                    contexts.insert(*site);
+                    if !seen_overflow {
+                        allocs_before += 1;
+                        contexts_before = contexts.len();
+                    }
+                }
+                Event::OverflowAccess { .. } => seen_overflow = true,
+                _ => {}
+            }
+        }
+        println!(
+            "{}",
+            row(
+                &[
+                    app.name.into(),
+                    contexts.len().to_string(),
+                    total_allocs.to_string(),
+                    contexts_before.to_string(),
+                    allocs_before.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+}

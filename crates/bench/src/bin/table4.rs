@@ -1,0 +1,48 @@
+//! Table IV: characteristics of the performance applications — lines of
+//! code, allocation contexts, allocations, and watched times (WT), the
+//! latter measured from a CSOD run of the model.
+
+use csod_bench::{header, row};
+use csod_core::CsodConfig;
+use workloads::{PerfApp, ToolSpec};
+
+fn main() {
+    header("Table IV: application characteristics (paper spec + measured run)");
+    let widths = [14, 10, 6, 12, 10, 8, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "Application".into(),
+                "LOC".into(),
+                "CC".into(),
+                "Allocations".into(),
+                "WT(paper)".into(),
+                "CC(run)".into(),
+                "WT(run)".into(),
+            ],
+            &widths
+        )
+    );
+    for app in PerfApp::all() {
+        let registry = app.registry();
+        let outcome = app.run(&registry, ToolSpec::Csod(CsodConfig::default()), 1);
+        println!(
+            "{}",
+            row(
+                &[
+                    app.name.into(),
+                    app.loc.to_string(),
+                    app.contexts.to_string(),
+                    app.allocations.to_string(),
+                    app.paper_watched_times.to_string(),
+                    outcome.distinct_contexts.to_string(),
+                    outcome.watched_times.to_string(),
+                ],
+                &widths
+            )
+        );
+    }
+    println!("\nnote: runs execute min(allocations, 150k) allocations; CC(run) and");
+    println!("WT(run) are measured on the scaled run (see EXPERIMENTS.md).");
+}

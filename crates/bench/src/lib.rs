@@ -1,0 +1,93 @@
+//! # csod-bench — experiment harnesses
+//!
+//! One binary per table and figure of the paper's evaluation (Section V),
+//! plus ablation studies and Criterion microbenchmarks. See DESIGN.md for
+//! the per-experiment index and EXPERIMENTS.md for paper-vs-measured
+//! results.
+
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Formats a row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let width = widths.get(i).copied().unwrap_or(12);
+        if i == 0 {
+            out.push_str(&format!("{cell:<width$}"));
+        } else {
+            out.push_str(&format!("  {cell:>width$}"));
+        }
+    }
+    out
+}
+
+/// Prints a titled rule line.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Parses `--runs N` (or the `CSOD_RUNS` env var), defaulting to
+/// `default`.
+pub fn runs_arg(default: usize) -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--runs" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        }
+    }
+    std::env::var("CSOD_RUNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Maps `f` over `0..n` on all available cores and collects the results
+/// in index order.
+pub fn parallel_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let workers = thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(n.max(1));
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers.max(1)).max(1);
+    thread::scope(|scope| {
+        for (w, slice) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, slot) in slice.iter_mut().enumerate() {
+                    *slot = Some(f(w * chunk + i));
+                }
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(100, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_edge_sizes() {
+        assert!(parallel_map(0, |i| i).is_empty());
+        assert_eq!(parallel_map(1, |i| i), vec![0]);
+    }
+
+    #[test]
+    fn row_is_aligned() {
+        let r = row(&["a".into(), "1".into()], &[8, 4]);
+        assert!(r.starts_with("a       "));
+        assert!(r.ends_with("   1"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Runtime configuration.
+
+use crate::policy::ReplacementPolicy;
+use csod_rng::PPM_SCALE;
+use sim_machine::VirtDuration;
+use std::fmt;
+use std::path::PathBuf;
+
+/// How watchpoints reach the hardware debug registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WatchBackend {
+    /// `perf_event_open` within the same process — the paper's choice
+    /// (Section II-A), five syscalls per thread per install.
+    #[default]
+    PerfEvent,
+    /// Traditional `ptrace` from a helper process — works, but each
+    /// install pays attach/poke/detach round trips (the overhead that
+    /// motivated the perf-event route).
+    Ptrace,
+    /// The combined custom syscall the paper proposes as future work
+    /// (Section V-B): one kernel entry installs the watchpoint on every
+    /// alive thread.
+    CombinedSyscall,
+}
+
+impl fmt::Display for WatchBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchBackend::PerfEvent => f.write_str("perf_event_open"),
+            WatchBackend::Ptrace => f.write_str("ptrace"),
+            WatchBackend::CombinedSyscall => f.write_str("combined-syscall"),
+        }
+    }
+}
+
+/// The adaptive-sampling constants of paper Section III-B2 and IV-A.
+///
+/// "These percentages are pre-defined macros used at compilation time,
+/// which could be further adjusted based on the behavior of programs" —
+/// here they are plain fields so the `ablation_sampling` harness can
+/// sweep them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SamplingParams {
+    /// Initial probability of every new calling context (paper: 50 %).
+    pub initial_ppm: u32,
+    /// Degradation applied on *every* allocation from a context,
+    /// watched or not (paper: 0.001 %).
+    pub degrade_per_alloc_ppm: u32,
+    /// Lower bound no degradation can cross (paper: 0.001 %).
+    pub floor_ppm: u32,
+    /// Allocation count within [`SamplingParams::burst_window`] beyond
+    /// which the context is throttled (paper: 5,000).
+    pub burst_threshold: u32,
+    /// The burst-detection window (paper: 10 seconds).
+    pub burst_window: VirtDuration,
+    /// Probability while throttled (paper: 0.0001 %).
+    pub burst_ppm: u32,
+    /// Reviving boost applied to floor-level contexts after a quiet
+    /// period (paper Section IV-A: 0.01 %).
+    pub revive_ppm: u32,
+    /// How long a context must sit at the floor before it becomes
+    /// eligible for reviving.
+    pub revive_period: VirtDuration,
+    /// Chance per allocation that an eligible context is actually
+    /// revived ("augmented randomly").
+    pub revive_chance_ppm: u32,
+}
+
+impl Default for SamplingParams {
+    fn default() -> Self {
+        SamplingParams {
+            initial_ppm: PPM_SCALE / 2,  // 50%
+            degrade_per_alloc_ppm: 10,   // 0.001%
+            floor_ppm: 10,               // 0.001%
+            burst_threshold: 5_000,
+            burst_window: VirtDuration::from_secs(10),
+            burst_ppm: 1, // 0.0001%
+            revive_ppm: 100, // 0.01%
+            revive_period: VirtDuration::from_secs(10),
+            revive_chance_ppm: PPM_SCALE / 100, // 1% per allocation once eligible
+        }
+    }
+}
+
+/// Full CSOD configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsodConfig {
+    /// Watchpoint replacement policy.
+    pub policy: ReplacementPolicy,
+    /// How watchpoints are installed on the hardware.
+    pub backend: WatchBackend,
+    /// Watchpoint slots to manage — 4 on real x86-64. Values above 4
+    /// require a machine built with
+    /// [`sim_machine::Machine::with_debug_registers`] (the register-count
+    /// ablation).
+    pub watchpoint_slots: usize,
+    /// Enable the evidence-based over-write detection of Section IV-B
+    /// (32-byte header + 8-byte canary, checked on free and at exit).
+    pub evidence: bool,
+    /// Adaptive-sampling constants.
+    pub sampling: SamplingParams,
+    /// Age after which an installed watchpoint's probability is halved
+    /// when competing against a replacement candidate (paper: 10 s).
+    pub watch_age_decay: VirtDuration,
+    /// Seed for the per-thread sampling generators.
+    pub seed: u64,
+    /// Where to persist contexts with observed overflow evidence so the
+    /// next execution watches them from the start (Section IV-B).
+    /// `None` keeps the evidence in memory only.
+    pub evidence_path: Option<PathBuf>,
+    /// Where to write the rendered bug reports at termination (the
+    /// production tool's log file). `None` keeps reports in memory only.
+    pub report_path: Option<PathBuf>,
+}
+
+impl Default for CsodConfig {
+    fn default() -> Self {
+        CsodConfig {
+            policy: ReplacementPolicy::NearFifo,
+            backend: WatchBackend::PerfEvent,
+            watchpoint_slots: 4,
+            evidence: true,
+            sampling: SamplingParams::default(),
+            watch_age_decay: VirtDuration::from_secs(10),
+            seed: 0xC50D,
+            evidence_path: None,
+            report_path: None,
+        }
+    }
+}
+
+impl CsodConfig {
+    /// The paper's "CSOD w/o Evidence" configuration (Figure 7).
+    pub fn without_evidence() -> Self {
+        CsodConfig {
+            evidence: false,
+            ..CsodConfig::default()
+        }
+    }
+
+    /// Convenience: default configuration with the given policy.
+    pub fn with_policy(policy: ReplacementPolicy) -> Self {
+        CsodConfig {
+            policy,
+            ..CsodConfig::default()
+        }
+    }
+
+    /// Convenience: default configuration with the given seed.
+    pub fn with_seed(seed: u64) -> Self {
+        CsodConfig {
+            seed,
+            ..CsodConfig::default()
+        }
+    }
+
+    /// Checks the configuration for internally inconsistent values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.watchpoint_slots == 0 {
+            return Err("watchpoint_slots must be at least 1".into());
+        }
+        let s = &self.sampling;
+        if s.initial_ppm > PPM_SCALE {
+            return Err(format!("initial probability {} ppm exceeds 100%", s.initial_ppm));
+        }
+        if s.floor_ppm == 0 {
+            return Err("floor probability must be positive or contexts die forever".into());
+        }
+        if s.floor_ppm > s.initial_ppm {
+            return Err(format!(
+                "floor ({} ppm) above the initial probability ({} ppm)",
+                s.floor_ppm, s.initial_ppm
+            ));
+        }
+        if s.burst_ppm > s.floor_ppm {
+            return Err(format!(
+                "burst throttle ({} ppm) above the floor ({} ppm) would make bursting a reward",
+                s.burst_ppm, s.floor_ppm
+            ));
+        }
+        if s.revive_ppm < s.floor_ppm {
+            return Err(format!(
+                "reviving to {} ppm below the floor ({} ppm) is a no-op",
+                s.revive_ppm, s.floor_ppm
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let p = SamplingParams::default();
+        assert_eq!(p.initial_ppm, 500_000); // 50%
+        assert_eq!(p.degrade_per_alloc_ppm, 10); // 0.001%
+        assert_eq!(p.floor_ppm, 10); // 0.001%
+        assert_eq!(p.burst_threshold, 5_000);
+        assert_eq!(p.burst_window, VirtDuration::from_secs(10));
+        assert_eq!(p.burst_ppm, 1); // 0.0001%
+        assert_eq!(p.revive_ppm, 100); // 0.01%
+        let c = CsodConfig::default();
+        assert!(c.evidence);
+        assert_eq!(c.policy, ReplacementPolicy::NearFifo);
+        assert_eq!(c.watch_age_decay, VirtDuration::from_secs(10));
+    }
+
+    #[test]
+    fn backend_default_and_display() {
+        assert_eq!(CsodConfig::default().backend, WatchBackend::PerfEvent);
+        assert_eq!(WatchBackend::Ptrace.to_string(), "ptrace");
+        assert_eq!(WatchBackend::CombinedSyscall.to_string(), "combined-syscall");
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_nonsense() {
+        assert_eq!(CsodConfig::default().validate(), Ok(()));
+        let broken = CsodConfig {
+            watchpoint_slots: 0,
+            ..CsodConfig::default()
+        };
+        assert!(broken.validate().is_err());
+        let with_sampling = |sampling: SamplingParams| CsodConfig {
+            sampling,
+            ..CsodConfig::default()
+        };
+        let zero_floor = with_sampling(SamplingParams {
+            floor_ppm: 0,
+            ..SamplingParams::default()
+        });
+        assert!(zero_floor.validate().is_err());
+        let over_unity = with_sampling(SamplingParams {
+            initial_ppm: 2_000_000,
+            ..SamplingParams::default()
+        });
+        assert!(over_unity.validate().unwrap_err().contains("100%"));
+        let high_burst = with_sampling(SamplingParams {
+            burst_ppm: 500,
+            ..SamplingParams::default()
+        });
+        assert!(high_burst.validate().unwrap_err().contains("burst"));
+        let dead_revive = with_sampling(SamplingParams {
+            revive_ppm: 1,
+            ..SamplingParams::default()
+        });
+        assert!(dead_revive.validate().unwrap_err().contains("no-op"));
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        assert!(!CsodConfig::without_evidence().evidence);
+        assert_eq!(
+            CsodConfig::with_policy(ReplacementPolicy::Naive).policy,
+            ReplacementPolicy::Naive
+        );
+        assert_eq!(CsodConfig::with_seed(7).seed, 7);
+    }
+}

@@ -1,0 +1,197 @@
+//! The persistent evidence store (paper Section IV-B).
+//!
+//! "At the end of the execution, all allocation calling contexts observed
+//! to have overflows are written to persistent storage as a file in order
+//! to detect buffer overflow in future executions." On the next run, any
+//! context whose full backtrace matches a stored signature starts pinned
+//! at 100 % — which is why Section V-A2 finds that every over-write is
+//! "always detected … during their second execution, if missed in the
+//! first".
+//!
+//! The on-disk format is one signature per line: the context's frames
+//! joined by `|`, innermost first. A leading `#` marks comments.
+
+use csod_ctx::{CallingContext, FrameTable};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+/// Separator between frames inside one signature line.
+const FRAME_SEP: char = '|';
+
+/// A set of allocation-context signatures with observed overflow
+/// evidence.
+///
+/// # Examples
+///
+/// ```
+/// use csod_core::EvidenceStore;
+/// use csod_ctx::{CallingContext, FrameTable};
+///
+/// let frames = FrameTable::new();
+/// let ctx = CallingContext::from_locations(&frames, ["mem.c:312", "main.c:1"]);
+/// let mut store = EvidenceStore::new();
+/// assert!(!store.contains(&ctx, &frames));
+/// store.record(&ctx, &frames);
+/// assert!(store.contains(&ctx, &frames));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvidenceStore {
+    signatures: BTreeSet<String>,
+}
+
+impl EvidenceStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        EvidenceStore::default()
+    }
+
+    /// The canonical signature of a context: frame locations joined by
+    /// `|`, innermost first.
+    pub fn signature(ctx: &CallingContext, frames: &FrameTable) -> String {
+        let mut out = String::new();
+        for (i, frame) in ctx.iter().enumerate() {
+            if i > 0 {
+                out.push(FRAME_SEP);
+            }
+            out.push_str(&frames.resolve(frame));
+        }
+        out
+    }
+
+    /// Records overflow evidence for `ctx`. Returns `true` if it was new.
+    pub fn record(&mut self, ctx: &CallingContext, frames: &FrameTable) -> bool {
+        self.signatures.insert(Self::signature(ctx, frames))
+    }
+
+    /// Whether `ctx` has recorded evidence.
+    pub fn contains(&self, ctx: &CallingContext, frames: &FrameTable) -> bool {
+        self.signatures.contains(&Self::signature(ctx, frames))
+    }
+
+    /// Number of recorded contexts.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Iterates over the stored signatures in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.signatures.iter().map(String::as_str)
+    }
+
+    /// Loads a store from `path`. A missing file yields an empty store,
+    /// so first executions need no special casing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than `NotFound`.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(EvidenceStore::new()),
+            Err(e) => return Err(e),
+        };
+        let signatures = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_owned)
+            .collect();
+        Ok(EvidenceStore { signatures })
+    }
+
+    /// Saves the store to `path`, one signature per line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut file = fs::File::create(path)?;
+        writeln!(file, "# CSOD evidence store: allocation contexts with observed overflows")?;
+        for sig in &self.signatures {
+            writeln!(file, "{sig}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for EvidenceStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} context(s) with overflow evidence", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(frames: &FrameTable, locs: &[&str]) -> CallingContext {
+        CallingContext::from_locations(frames, locs.iter().copied())
+    }
+
+    #[test]
+    fn record_and_contains() {
+        let frames = FrameTable::new();
+        let a = ctx(&frames, &["a.c:1", "main.c:9"]);
+        let b = ctx(&frames, &["b.c:2", "main.c:9"]);
+        let mut store = EvidenceStore::new();
+        assert!(store.record(&a, &frames));
+        assert!(!store.record(&a, &frames), "duplicate is not new");
+        assert!(store.contains(&a, &frames));
+        assert!(!store.contains(&b, &frames));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn signature_is_order_sensitive() {
+        let frames = FrameTable::new();
+        let a = ctx(&frames, &["x.c:1", "y.c:2"]);
+        let b = ctx(&frames, &["y.c:2", "x.c:1"]);
+        assert_ne!(
+            EvidenceStore::signature(&a, &frames),
+            EvidenceStore::signature(&b, &frames)
+        );
+        assert_eq!(EvidenceStore::signature(&a, &frames), "x.c:1|y.c:2");
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let frames = FrameTable::new();
+        let dir = std::env::temp_dir().join("csod-evidence-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evidence.txt");
+        let mut store = EvidenceStore::new();
+        store.record(&ctx(&frames, &["mem.c:312", "req.c:577"]), &frames);
+        store.record(&ctx(&frames, &["gz.c:804"]), &frames);
+        store.save(&path).unwrap();
+        let loaded = EvidenceStore::load(&path).unwrap();
+        assert_eq!(loaded, store);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_is_empty() {
+        let path = std::env::temp_dir().join("csod-evidence-definitely-missing.txt");
+        let store = EvidenceStore::load(&path).unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let dir = std::env::temp_dir().join("csod-evidence-test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("evidence.txt");
+        fs::write(&path, "# header\n\nsig.c:1|main.c:2\n  \n").unwrap();
+        let store = EvidenceStore::load(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.iter().next(), Some("sig.c:1|main.c:2"));
+        fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,179 @@
+//! Bug reports (paper Section III-D2 and Figure 6).
+//!
+//! CSOD reports two calling contexts for every detected overflow: the
+//! context of the overflowing statement (from the SIGTRAP handler's
+//! backtrace) and the allocation context of the overflowed object (from
+//! the context table). Reports never contain false positives — a
+//! watchpoint only fires on a genuine access beyond the object boundary.
+
+use crate::sampling::CtxId;
+use csod_ctx::{CallingContext, FrameTable};
+use sim_machine::{AccessKind, ThreadId, VirtAddr, VirtInstant};
+use std::fmt;
+
+/// How an overflow was detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectionMethod {
+    /// A hardware watchpoint fired at the moment of the access — the
+    /// precise path that yields the overflowing statement.
+    Watchpoint,
+    /// A corrupted canary was found when the object was freed
+    /// (evidence-based detection, Section IV-B).
+    CanaryOnFree,
+    /// A corrupted canary was found by the Termination Handling Unit at
+    /// the end of the execution.
+    CanaryAtExit,
+}
+
+impl fmt::Display for DetectionMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DetectionMethod::Watchpoint => f.write_str("hardware watchpoint"),
+            DetectionMethod::CanaryOnFree => f.write_str("canary check at deallocation"),
+            DetectionMethod::CanaryAtExit => f.write_str("canary check at exit"),
+        }
+    }
+}
+
+/// One detected buffer overflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverflowReport {
+    /// Over-read or over-write. Canary evidence always implies a write.
+    pub kind: AccessKind,
+    /// Detection path.
+    pub method: DetectionMethod,
+    /// The thread that performed the overflowing access (watchpoint
+    /// path) or discovered the evidence.
+    pub thread: ThreadId,
+    /// User-visible start of the overflowed object.
+    pub object_start: VirtAddr,
+    /// The boundary word that was touched or corrupted.
+    pub boundary_addr: VirtAddr,
+    /// Full calling context of the overflowing statement; only the
+    /// watchpoint path can know it.
+    pub overflow_site: Option<CallingContext>,
+    /// Allocation calling context of the overflowed object.
+    pub alloc_context: CallingContext,
+    /// Dense id of the allocation context.
+    pub ctx_id: CtxId,
+    /// Virtual time of detection.
+    pub at: VirtInstant,
+}
+
+impl OverflowReport {
+    /// Renders the report in the format of the paper's Figure 6.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use csod_core::{DetectionMethod, OverflowReport};
+    /// use csod_core::CtxId;
+    /// use csod_ctx::{CallingContext, FrameTable};
+    /// use sim_machine::{AccessKind, ThreadId, VirtAddr, VirtInstant};
+    ///
+    /// let frames = FrameTable::new();
+    /// let report = OverflowReport {
+    ///     kind: AccessKind::Read,
+    ///     method: DetectionMethod::Watchpoint,
+    ///     thread: ThreadId::MAIN,
+    ///     object_start: VirtAddr::new(0x1000),
+    ///     boundary_addr: VirtAddr::new(0x1040),
+    ///     overflow_site: Some(CallingContext::from_locations(
+    ///         &frames,
+    ///         ["GLIBC/memcpy-sse2-unaligned.S:81", "OPENSSL/ssl/t1_lib.c:2588"],
+    ///     )),
+    ///     alloc_context: CallingContext::from_locations(
+    ///         &frames,
+    ///         ["OPENSSL/crypto/mem.c:312", "NGINX/http/ngx_http_request.c:577"],
+    ///     ),
+    ///     ctx_id: CtxId::from_index(0),
+    ///     at: VirtInstant::BOOT,
+    /// };
+    /// let text = report.render(&frames);
+    /// assert!(text.starts_with("A buffer over-read problem is detected at:"));
+    /// assert!(text.contains("This object is allocated at:"));
+    /// ```
+    pub fn render(&self, frames: &FrameTable) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "A buffer {} problem is detected at:\n",
+            self.kind.overflow_noun()
+        ));
+        match &self.overflow_site {
+            Some(site) => out.push_str(&site.render(frames)),
+            None => out.push_str(&format!(
+                "<overflow site unavailable: detected by {}>\n",
+                self.method
+            )),
+        }
+        out.push_str("\nThis object is allocated at:\n");
+        out.push_str(&self.alloc_context.render(frames));
+        out
+    }
+}
+
+impl fmt::Display for OverflowReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of object at {} ({}, {}, {})",
+            self.kind.overflow_noun(),
+            self.object_start,
+            self.method,
+            self.thread,
+            self.ctx_id
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(frames: &FrameTable, method: DetectionMethod, kind: AccessKind) -> OverflowReport {
+        OverflowReport {
+            kind,
+            method,
+            thread: ThreadId::MAIN,
+            object_start: VirtAddr::new(0x1000),
+            boundary_addr: VirtAddr::new(0x1010),
+            overflow_site: matches!(method, DetectionMethod::Watchpoint).then(|| {
+                CallingContext::from_locations(frames, ["libhx/string.c:30", "app.c:9"])
+            }),
+            alloc_context: CallingContext::from_locations(frames, ["alloc.c:5", "main.c:2"]),
+            ctx_id: CtxId::from_index(3),
+            at: VirtInstant::BOOT,
+        }
+    }
+
+    #[test]
+    fn watchpoint_report_shows_both_contexts() {
+        let frames = FrameTable::new();
+        let r = sample(&frames, DetectionMethod::Watchpoint, AccessKind::Write);
+        let text = r.render(&frames);
+        assert!(text.contains("over-write problem is detected at:"));
+        assert!(text.contains("libhx/string.c:30"));
+        assert!(text.contains("This object is allocated at:"));
+        assert!(text.contains("alloc.c:5"));
+    }
+
+    #[test]
+    fn canary_report_explains_missing_site() {
+        let frames = FrameTable::new();
+        let r = sample(&frames, DetectionMethod::CanaryOnFree, AccessKind::Write);
+        let text = r.render(&frames);
+        assert!(text.contains("overflow site unavailable"));
+        assert!(text.contains("canary check at deallocation"));
+        assert!(text.contains("alloc.c:5"));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let frames = FrameTable::new();
+        let r = sample(&frames, DetectionMethod::CanaryAtExit, AccessKind::Write);
+        let line = r.to_string();
+        assert!(line.contains("over-write"));
+        assert!(line.contains("ctx#3"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,528 @@
+//! The Sampling Management Unit (paper Sections III-B and IV-A).
+//!
+//! Every allocation calling context carries a probability of being
+//! watched. The unit maintains those probabilities with the paper's
+//! adaptive rules:
+//!
+//! * every new context starts at 50 % — "treated … as if it were equally
+//!   likely to either contain a bug or be bug-free";
+//! * **degradation on each allocation**: −0.001 % per allocation from the
+//!   context, watched or not;
+//! * **degradation after each watch**: halved whenever an object of the
+//!   context is watched;
+//! * a **floor** of 0.001 % so every context keeps some chance;
+//! * **burst throttling**: more than 5,000 allocations inside a
+//!   10-second window drop the context to 0.0001 % until the window
+//!   elapses;
+//! * **reviving** (Section IV-A): floor-level contexts are randomly
+//!   boosted back to 0.01 % after a quiet period, so bugs gated on rare
+//!   inputs keep a chance across long runs;
+//! * **evidence pinning** (Section IV-B): once a corrupted canary proves
+//!   a context overflows, its probability is pinned at 100 %.
+
+use crate::config::SamplingParams;
+use csod_ctx::{CallingContext, ContextKey, ContextTable, ContextTree, CtxNodeId};
+use csod_rng::{Arc4Random, PPM_SCALE};
+use sim_machine::VirtInstant;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Dense identifier assigned to each distinct calling context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CtxId(u32);
+
+impl CtxId {
+    /// Builds an id from a raw index (workload registries and tests).
+    pub const fn from_index(index: u32) -> Self {
+        CtxId(index)
+    }
+
+    /// The raw index.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for CtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ctx#{}", self.0)
+    }
+}
+
+/// Per-context sampling state.
+#[derive(Debug, Clone)]
+pub struct CtxState {
+    /// Dense id of this context.
+    pub id: CtxId,
+    /// The full backtrace, interned in the unit's calling-context tree
+    /// (shared suffixes stored once; see [`ContextTree`]).
+    pub node: CtxNodeId,
+    /// Current probability in ppm.
+    probability_ppm: u32,
+    /// Total allocations from this context.
+    pub alloc_count: u64,
+    /// Times an object of this context was watched.
+    pub watch_count: u64,
+    /// Evidence pinning: probability stays at 100 %.
+    pub pinned_certain: bool,
+    window_start: VirtInstant,
+    window_allocs: u32,
+    burst_until: Option<VirtInstant>,
+    floor_since: Option<VirtInstant>,
+}
+
+impl CtxState {
+    /// Current probability in parts per million.
+    pub fn probability_ppm(&self) -> u32 {
+        self.probability_ppm
+    }
+}
+
+/// Outcome of the sampling decision for one allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocDecision {
+    /// The context's dense id.
+    pub ctx_id: CtxId,
+    /// `true` if this context was seen for the first time (the caller
+    /// pays the `backtrace` cost exactly then).
+    pub first_seen: bool,
+    /// The probability used for the decision, in ppm.
+    pub probability_ppm: u32,
+    /// Whether the sampler wants this object watched. The watchpoint
+    /// manager may still watch a rejected object when a register is free
+    /// ("installation due to availability").
+    pub wants_watch: bool,
+    /// How many times this context had been watched before this
+    /// allocation. The availability rule only bypasses the probability
+    /// for never-watched contexts ("the first few objects"), which keeps
+    /// the watched-times count near the context count as in Table IV.
+    pub prior_watches: u64,
+}
+
+/// The Sampling Management Unit.
+#[derive(Debug)]
+pub struct SamplingUnit {
+    params: SamplingParams,
+    table: ContextTable<CtxState>,
+    tree: ContextTree,
+    next_id: AtomicU32,
+}
+
+impl SamplingUnit {
+    /// Creates a unit with the given constants.
+    pub fn new(params: SamplingParams) -> Self {
+        SamplingUnit {
+            params,
+            table: ContextTable::new(),
+            tree: ContextTree::new(),
+            next_id: AtomicU32::new(0),
+        }
+    }
+
+    /// The sampling constants in effect.
+    pub fn params(&self) -> &SamplingParams {
+        &self.params
+    }
+
+    /// Handles one allocation from `key` at virtual time `now`.
+    ///
+    /// `capture_full` is invoked only when the key is new (the expensive
+    /// `backtrace`); `known_overflow` is consulted at the same moment to
+    /// pre-pin contexts recorded by a previous execution's evidence file.
+    pub fn on_allocation(
+        &self,
+        key: ContextKey,
+        now: VirtInstant,
+        rng: &mut Arc4Random,
+        capture_full: impl FnOnce() -> CallingContext,
+        known_overflow: impl FnOnce(&CallingContext) -> bool,
+    ) -> AllocDecision {
+        let params = self.params;
+        let next_id = &self.next_id;
+        let tree = &self.tree;
+        self.table.with_entry_tracked(
+            key,
+            || {
+                let full_context = capture_full();
+                let pinned = known_overflow(&full_context);
+                CtxState {
+                    id: CtxId(next_id.fetch_add(1, Ordering::Relaxed)),
+                    node: tree.intern(&full_context),
+                    probability_ppm: if pinned { PPM_SCALE } else { params.initial_ppm },
+                    alloc_count: 0,
+                    watch_count: 0,
+                    pinned_certain: pinned,
+                    window_start: now,
+                    window_allocs: 0,
+                    burst_until: None,
+                    floor_since: None,
+                }
+            },
+            |state, first_seen| {
+                // 1. Burst-window bookkeeping.
+                if now.saturating_duration_since(state.window_start) > params.burst_window {
+                    state.window_start = now;
+                    state.window_allocs = 0;
+                }
+                if let Some(until) = state.burst_until {
+                    if now >= until {
+                        // Window elapsed: "the probability … will again be
+                        // increased to the lower bound".
+                        state.burst_until = None;
+                        if !state.pinned_certain {
+                            state.probability_ppm = state.probability_ppm.max(params.floor_ppm);
+                        }
+                    }
+                }
+                state.window_allocs += 1;
+                if !state.pinned_certain
+                    && state.burst_until.is_none()
+                    && state.window_allocs > params.burst_threshold
+                {
+                    state.probability_ppm = params.burst_ppm;
+                    state.burst_until = Some(state.window_start + params.burst_window);
+                }
+
+                // 2. Reviving (Section IV-A): floor-level contexts are
+                // randomly boosted after a quiet period.
+                if !state.pinned_certain && state.burst_until.is_none() {
+                    if state.probability_ppm <= params.floor_ppm {
+                        match state.floor_since {
+                            None => state.floor_since = Some(now),
+                            Some(since)
+                                if now.saturating_duration_since(since)
+                                    >= params.revive_period
+                                    && rng.chance_ppm(params.revive_chance_ppm) =>
+                            {
+                                state.probability_ppm = params.revive_ppm;
+                                state.floor_since = None;
+                            }
+                            Some(_) => {}
+                        }
+                    } else {
+                        state.floor_since = None;
+                    }
+                }
+
+                // 3. The decision itself, at the pre-degradation probability.
+                let probability_ppm = state.probability_ppm;
+                let wants_watch =
+                    state.pinned_certain || rng.chance_ppm(probability_ppm);
+
+                // 4. Degradation on each allocation, floor-bounded.
+                state.alloc_count += 1;
+                if !state.pinned_certain
+                    && state.burst_until.is_none()
+                    && state.probability_ppm > params.floor_ppm
+                {
+                    state.probability_ppm = state
+                        .probability_ppm
+                        .saturating_sub(params.degrade_per_alloc_ppm)
+                        .max(params.floor_ppm);
+                }
+
+                AllocDecision {
+                    ctx_id: state.id,
+                    first_seen,
+                    probability_ppm,
+                    wants_watch,
+                    prior_watches: state.watch_count,
+                }
+            },
+        )
+    }
+
+    /// Records that an object of `key` was watched: halves the context's
+    /// probability ("degradation after each watch").
+    pub fn on_watched(&self, key: ContextKey) {
+        let floor = self.params.floor_ppm;
+        self.table.with_existing(key, |state| {
+            state.watch_count += 1;
+            if !state.pinned_certain {
+                state.probability_ppm = (state.probability_ppm / 2).max(floor);
+            }
+        });
+    }
+
+    /// Pins `key` at 100 % — called when canary evidence proves the
+    /// context overflows (Section IV-B).
+    pub fn pin_certain(&self, key: ContextKey) {
+        self.table.with_existing(key, |state| {
+            state.pinned_certain = true;
+            state.probability_ppm = PPM_SCALE;
+        });
+    }
+
+    /// Current probability of `key`, if seen.
+    pub fn probability_ppm(&self, key: ContextKey) -> Option<u32> {
+        self.table.with_existing(key, |s| s.probability_ppm)
+    }
+
+    /// The full calling context of `key`, if seen (materialized from
+    /// the context tree).
+    pub fn full_context(&self, key: ContextKey) -> Option<CallingContext> {
+        let node = self.table.with_existing(key, |s| s.node)?;
+        Some(self.tree.materialize(node))
+    }
+
+    /// The calling-context tree storing the full backtraces.
+    pub fn tree(&self) -> &ContextTree {
+        &self.tree
+    }
+
+    /// State snapshot of `key`, if seen.
+    pub fn state(&self, key: ContextKey) -> Option<CtxState> {
+        self.table.with_existing(key, |s| s.clone())
+    }
+
+    /// Number of distinct contexts observed (Table III/IV "CC" column).
+    pub fn distinct_contexts(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Snapshot of all context states for end-of-run reporting.
+    pub fn snapshot(&self) -> Vec<(ContextKey, CtxState)> {
+        self.table.snapshot()
+    }
+
+    /// Total allocations across all contexts.
+    pub fn total_allocations(&self) -> u64 {
+        let mut total = 0;
+        self.table.for_each(|_, s| total += s.alloc_count);
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csod_ctx::FrameTable;
+    use sim_machine::VirtDuration;
+
+    fn unit() -> SamplingUnit {
+        SamplingUnit::new(SamplingParams::default())
+    }
+
+    fn key(frames: &FrameTable, name: &str) -> ContextKey {
+        ContextKey::new(frames.intern(name), 0x40)
+    }
+
+    fn ctx(frames: &FrameTable, name: &str) -> CallingContext {
+        CallingContext::from_locations(frames, [name, "main.c:1"])
+    }
+
+    fn alloc(
+        unit: &SamplingUnit,
+        k: ContextKey,
+        now: VirtInstant,
+        rng: &mut Arc4Random,
+        frames: &FrameTable,
+    ) -> AllocDecision {
+        unit.on_allocation(k, now, rng, || ctx(frames, "site"), |_| false)
+    }
+
+    #[test]
+    fn new_context_starts_at_fifty_percent() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let d = alloc(&u, key(&frames, "a"), VirtInstant::BOOT, &mut rng, &frames);
+        assert!(d.first_seen);
+        assert_eq!(d.probability_ppm, 500_000);
+        assert_eq!(d.ctx_id, CtxId(0));
+        // Second allocation: no longer first seen, degraded by 10 ppm.
+        let d2 = alloc(&u, key(&frames, "a"), VirtInstant::BOOT, &mut rng, &frames);
+        assert!(!d2.first_seen);
+        assert_eq!(d2.probability_ppm, 499_990);
+    }
+
+    #[test]
+    fn ids_are_dense_per_context() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let a = alloc(&u, key(&frames, "a"), VirtInstant::BOOT, &mut rng, &frames);
+        let b = alloc(&u, key(&frames, "b"), VirtInstant::BOOT, &mut rng, &frames);
+        assert_eq!(a.ctx_id, CtxId(0));
+        assert_eq!(b.ctx_id, CtxId(1));
+        assert_eq!(u.distinct_contexts(), 2);
+    }
+
+    #[test]
+    fn capture_full_runs_only_once() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        let mut captures = 0;
+        for _ in 0..5 {
+            u.on_allocation(
+                k,
+                VirtInstant::BOOT,
+                &mut rng,
+                || {
+                    captures += 1;
+                    ctx(&frames, "a")
+                },
+                |_| false,
+            );
+        }
+        assert_eq!(captures, 1, "backtrace is captured exactly once");
+    }
+
+    #[test]
+    fn degradation_reaches_floor_and_stops() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        // 50_000 allocations * 10 ppm = 500_000 ppm of degradation, far
+        // past the floor. Keep every allocation in a fresh window to
+        // avoid burst throttling.
+        let mut now = VirtInstant::BOOT;
+        for i in 0..60_000u64 {
+            if i % 4_000 == 0 {
+                now = now + VirtDuration::from_secs(11);
+            }
+            alloc(&u, k, now, &mut rng, &frames);
+        }
+        let p = u.probability_ppm(k).unwrap();
+        // Reviving may have bumped it to 0.01%, but never above that.
+        assert!(p <= 100, "probability {p} should be at/near the floor");
+        assert!(p >= 10, "probability {p} must respect the floor");
+    }
+
+    #[test]
+    fn watch_halves_probability() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        let before = u.probability_ppm(k).unwrap();
+        u.on_watched(k);
+        assert_eq!(u.probability_ppm(k).unwrap(), before / 2);
+        assert_eq!(u.state(k).unwrap().watch_count, 1);
+        // Halving also floors.
+        for _ in 0..30 {
+            u.on_watched(k);
+        }
+        assert_eq!(u.probability_ppm(k).unwrap(), 10);
+    }
+
+    #[test]
+    fn burst_throttles_then_recovers_to_floor() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "swaptions");
+        let t0 = VirtInstant::BOOT;
+        // 5,001 allocations within one window trip the throttle.
+        for _ in 0..5_001 {
+            alloc(&u, k, t0, &mut rng, &frames);
+        }
+        assert_eq!(u.probability_ppm(k).unwrap(), 1, "0.0001% while bursting");
+        // Decisions during the burst use the throttled probability.
+        let d = alloc(&u, k, t0 + VirtDuration::from_secs(1), &mut rng, &frames);
+        assert_eq!(d.probability_ppm, 1);
+        // After the window elapses the probability returns to the floor.
+        let later = t0 + VirtDuration::from_secs(11);
+        let d = alloc(&u, k, later, &mut rng, &frames);
+        assert_eq!(d.probability_ppm, 10, "recovered to the lower bound");
+    }
+
+    #[test]
+    fn reviving_boosts_floor_contexts() {
+        let frames = FrameTable::new();
+        let params = SamplingParams {
+            revive_chance_ppm: PPM_SCALE, // make reviving deterministic
+            ..SamplingParams::default()
+        };
+        let u = SamplingUnit::new(params);
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        // Drive to the floor: initial 50% degrades by 10ppm per alloc;
+        // use watches instead for speed.
+        alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        for _ in 0..30 {
+            u.on_watched(k);
+        }
+        assert_eq!(u.probability_ppm(k).unwrap(), 10);
+        // First allocation at the floor records the floor time...
+        let t1 = VirtInstant::BOOT + VirtDuration::from_secs(1);
+        alloc(&u, k, t1, &mut rng, &frames);
+        // ...and after the revive period the next allocation boosts.
+        let t2 = t1 + VirtDuration::from_secs(11);
+        let d = alloc(&u, k, t2, &mut rng, &frames);
+        assert_eq!(d.probability_ppm, 100, "revived to 0.01%");
+    }
+
+    #[test]
+    fn pinned_contexts_always_watch() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        u.pin_certain(k);
+        for _ in 0..50 {
+            let d = alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+            assert!(d.wants_watch);
+            assert_eq!(d.probability_ppm, PPM_SCALE);
+        }
+        // Watching a pinned context must not halve it.
+        u.on_watched(k);
+        assert_eq!(u.probability_ppm(k).unwrap(), PPM_SCALE);
+    }
+
+    #[test]
+    fn known_overflow_prepins_on_first_sight() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        let d = u.on_allocation(
+            k,
+            VirtInstant::BOOT,
+            &mut rng,
+            || ctx(&frames, "a"),
+            |_| true, // the evidence file knows this context
+        );
+        assert!(d.wants_watch);
+        assert_eq!(d.probability_ppm, PPM_SCALE);
+        assert!(u.state(k).unwrap().pinned_certain);
+    }
+
+    #[test]
+    fn decision_statistics_follow_probability() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(77, 0);
+        let k = key(&frames, "a");
+        // At ~50% the first decisions should be a near-even split.
+        let mut watched = 0;
+        for _ in 0..1_000 {
+            // Reset degradation drift by using many contexts would be
+            // complex; tolerate the slight downward drift (~1%).
+            if alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames).wants_watch {
+                watched += 1;
+            }
+        }
+        assert!((400..600).contains(&watched), "watched {watched}/1000");
+    }
+
+    #[test]
+    fn total_allocations_sums_contexts() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        for _ in 0..3 {
+            alloc(&u, key(&frames, "a"), VirtInstant::BOOT, &mut rng, &frames);
+        }
+        for _ in 0..2 {
+            alloc(&u, key(&frames, "b"), VirtInstant::BOOT, &mut rng, &frames);
+        }
+        assert_eq!(u.total_allocations(), 5);
+        assert_eq!(u.snapshot().len(), 2);
+    }
+}

@@ -1,0 +1,693 @@
+//! The Watchpoint Management Unit (paper Section III-C).
+//!
+//! At most four heap objects are watched at a time — one hardware debug
+//! register each, installed on *every* alive thread through the
+//! `perf_event_open` sequence of Figure 3 and removed with the
+//! `ioctl(DISABLE)` + `close` sequence of Figure 4.
+//!
+//! When all four slots are busy, the [replacement
+//! policy](crate::ReplacementPolicy) decides whether a new candidate
+//! preempts an installed watchpoint. A replacement happens only when the
+//! candidate's probability exceeds the victim's *effective* probability,
+//! which decays by halving for every 10 seconds the watchpoint has been
+//! installed — "an object without overflows for an extended period will
+//! likely have a lower chance of experiencing overflows in the future".
+
+use crate::config::WatchBackend;
+use crate::policy::ReplacementPolicy;
+use crate::sampling::CtxId;
+use csod_ctx::ContextKey;
+use csod_rng::Arc4Random;
+use sim_machine::{
+    Fd, FcntlCmd, IoctlCmd, Machine, PerfEventAttr, Signal, ThreadId, VirtAddr, VirtDuration,
+    VirtInstant, NUM_WATCHPOINT_REGISTERS,
+};
+
+/// A request to watch one freshly allocated object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchCandidate {
+    /// User-visible start of the object.
+    pub object_start: VirtAddr,
+    /// The boundary word to watch (the canary slot).
+    pub canary_addr: VirtAddr,
+    /// The object's allocation-context key.
+    pub key: ContextKey,
+    /// The context's dense id.
+    pub ctx_id: CtxId,
+    /// The context's probability at allocation time, in ppm.
+    pub probability_ppm: u32,
+}
+
+/// One installed watchpoint.
+#[derive(Debug, Clone)]
+pub struct WatchedObject {
+    /// User-visible start of the watched object.
+    pub object_start: VirtAddr,
+    /// The watched boundary word.
+    pub canary_addr: VirtAddr,
+    /// Allocation-context key of the object.
+    pub key: ContextKey,
+    /// Dense id of the allocation context.
+    pub ctx_id: CtxId,
+    /// Probability at install time, in ppm.
+    pub probability_ppm: u32,
+    /// Virtual time of installation.
+    pub installed_at: VirtInstant,
+    /// One perf event per alive thread.
+    fds: Vec<(ThreadId, Fd)>,
+}
+
+impl WatchedObject {
+    /// The probability this watchpoint defends with when a candidate
+    /// wants its slot: the owning context's *current* probability (which
+    /// degradation and watch-halving keep pushing down), additionally
+    /// halved once per elapsed decay period — "the probability of an
+    /// existing object will be reduced when it has been installed for a
+    /// long period of time".
+    pub fn effective_probability_ppm(
+        &self,
+        current_ctx_ppm: Option<u32>,
+        now: VirtInstant,
+        decay: VirtDuration,
+    ) -> u32 {
+        let base = current_ctx_ppm.unwrap_or(self.probability_ppm);
+        let elapsed = now.saturating_duration_since(self.installed_at).as_nanos();
+        let periods = if decay.as_nanos() == 0 {
+            0
+        } else {
+            (elapsed / decay.as_nanos()).min(31) as u32
+        };
+        base >> periods
+    }
+
+    /// The perf descriptors (one per thread) backing this watchpoint.
+    pub fn descriptors(&self) -> impl Iterator<Item = (ThreadId, Fd)> + '_ {
+        self.fds.iter().copied()
+    }
+}
+
+/// Outcome of [`WatchpointManager::consider`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstallOutcome {
+    /// A free debug register was available ("installation due to
+    /// availability").
+    InstalledFree,
+    /// An existing watchpoint was preempted.
+    Replaced,
+    /// The candidate lost: all slots busy and no victim had a lower
+    /// effective probability (or the policy never preempts).
+    Rejected,
+}
+
+/// Counters the manager maintains (Table IV's "WT" column and the
+/// overhead discussion of Section V-B).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchpointStats {
+    /// Objects ever watched (free-slot installs + replacements).
+    pub installs: u64,
+    /// Installs that preempted an existing watchpoint.
+    pub replacements: u64,
+    /// Watchpoints removed because their object was freed.
+    pub removals_on_free: u64,
+    /// Candidates rejected by the policy.
+    pub rejected: u64,
+}
+
+/// The Watchpoint Management Unit.
+#[derive(Debug)]
+pub struct WatchpointManager {
+    policy: ReplacementPolicy,
+    backend: WatchBackend,
+    age_decay: VirtDuration,
+    slots: Vec<Option<WatchedObject>>,
+    /// Near-FIFO circular cursor: next victim position.
+    fifo_cursor: usize,
+    stats: WatchpointStats,
+}
+
+impl WatchpointManager {
+    /// Creates a manager with the given policy and age-decay period,
+    /// installing through `perf_event_open`.
+    pub fn new(policy: ReplacementPolicy, age_decay: VirtDuration) -> Self {
+        WatchpointManager::with_backend(policy, WatchBackend::PerfEvent, age_decay)
+    }
+
+    /// Creates a manager with an explicit installation backend.
+    pub fn with_backend(
+        policy: ReplacementPolicy,
+        backend: WatchBackend,
+        age_decay: VirtDuration,
+    ) -> Self {
+        WatchpointManager::with_slots(policy, backend, age_decay, NUM_WATCHPOINT_REGISTERS)
+    }
+
+    /// Creates a manager for hypothetical hardware with `slots` debug
+    /// registers (the register-count ablation); the machine must be
+    /// built with at least as many via
+    /// [`Machine::with_debug_registers`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn with_slots(
+        policy: ReplacementPolicy,
+        backend: WatchBackend,
+        age_decay: VirtDuration,
+        slots: usize,
+    ) -> Self {
+        assert!(slots > 0, "at least one watchpoint slot");
+        WatchpointManager {
+            policy,
+            backend,
+            age_decay,
+            slots: (0..slots).map(|_| None).collect(),
+            fifo_cursor: 0,
+            stats: WatchpointStats::default(),
+        }
+    }
+
+    /// Number of watchpoint slots this manager drives.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// The installation backend in effect.
+    pub fn backend(&self) -> WatchBackend {
+        self.backend
+    }
+
+    /// Whether at least one of the four slots is free.
+    pub fn has_free_slot(&self) -> bool {
+        self.slots.iter().any(Option::is_none)
+    }
+
+    /// Number of objects currently watched.
+    pub fn watched_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> WatchpointStats {
+        self.stats
+    }
+
+    /// Offers `candidate` to the manager.
+    ///
+    /// A free slot is always used regardless of probability; otherwise
+    /// the replacement policy picks a victim whose effective probability
+    /// is lower than the candidate's, or rejects the candidate.
+    pub fn consider(
+        &mut self,
+        machine: &mut Machine,
+        candidate: WatchCandidate,
+        rng: &mut Arc4Random,
+        current_ctx_ppm: impl Fn(ContextKey) -> Option<u32>,
+    ) -> InstallOutcome {
+        if let Some(free) = self.slots.iter().position(Option::is_none) {
+            self.install_into(machine, free, candidate);
+            self.stats.installs += 1;
+            return InstallOutcome::InstalledFree;
+        }
+        let now = machine.now();
+        let victim = match self.policy {
+            ReplacementPolicy::Naive => None,
+            ReplacementPolicy::Random => {
+                // Start at a random slot, then scan forward until a
+                // lower-probability victim is found (Section III-C2).
+                let n = self.slots.len();
+                let start = rng.uniform(n as u32) as usize;
+                (0..n)
+                    .map(|i| (start + i) % n)
+                    .find(|&idx| self.loses_to(idx, &candidate, now, &current_ctx_ppm))
+            }
+            ReplacementPolicy::NearFifo => {
+                // Check only the first-installed position; the cursor
+                // advances when a replacement happens.
+                let idx = self.fifo_cursor;
+                if self.loses_to(idx, &candidate, now, &current_ctx_ppm) {
+                    self.fifo_cursor = (idx + 1) % self.slots.len();
+                    Some(idx)
+                } else {
+                    None
+                }
+            }
+        };
+        match victim {
+            Some(idx) => {
+                self.remove_slot(machine, idx);
+                self.install_into(machine, idx, candidate);
+                self.stats.installs += 1;
+                self.stats.replacements += 1;
+                InstallOutcome::Replaced
+            }
+            None => {
+                self.stats.rejected += 1;
+                InstallOutcome::Rejected
+            }
+        }
+    }
+
+    fn loses_to(
+        &self,
+        idx: usize,
+        candidate: &WatchCandidate,
+        now: VirtInstant,
+        current_ctx_ppm: impl Fn(ContextKey) -> Option<u32>,
+    ) -> bool {
+        self.slots[idx].as_ref().is_some_and(|w| {
+            let defense = w.effective_probability_ppm(current_ctx_ppm(w.key), now, self.age_decay);
+            // Same-context candidates win ties: the newer object of an
+            // equally suspicious context is the better target, since the
+            // installed sibling has demonstrably not overflowed yet.
+            // This is also what makes evidence-pinned contexts (100 %)
+            // always migrate the watch to their latest allocation.
+            candidate.probability_ppm > defense
+                || (candidate.key == w.key && candidate.probability_ppm >= defense)
+        })
+    }
+
+    /// Removes the watchpoint guarding `object_start`, if any — called on
+    /// deallocation. Returns whether one was removed.
+    pub fn remove_by_object(&mut self, machine: &mut Machine, object_start: VirtAddr) -> bool {
+        let Some(idx) = self
+            .slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|w| w.object_start == object_start))
+        else {
+            return false;
+        };
+        self.remove_slot(machine, idx);
+        self.stats.removals_on_free += 1;
+        true
+    }
+
+    /// The watched object owning `fd`, if any. The signal handler uses
+    /// this to identify which watchpoint fired (Section III-D1), by
+    /// comparing the descriptor against each saved one.
+    pub fn find_by_fd(&self, fd: Fd) -> Option<&WatchedObject> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|w| w.fds.iter().any(|&(_, f)| f == fd))
+    }
+
+    /// The watched object guarding `object_start`, if any.
+    pub fn find_by_object(&self, object_start: VirtAddr) -> Option<&WatchedObject> {
+        self.slots
+            .iter()
+            .flatten()
+            .find(|w| w.object_start == object_start)
+    }
+
+    /// Whether `object_start` is currently watched.
+    pub fn is_watched(&self, object_start: VirtAddr) -> bool {
+        self.find_by_object(object_start).is_some()
+    }
+
+    /// Iterates over the currently watched objects.
+    pub fn watched(&self) -> impl Iterator<Item = &WatchedObject> {
+        self.slots.iter().flatten()
+    }
+
+    /// Extends every installed watchpoint onto a newly spawned thread —
+    /// CSOD's `pthread_create` interception. Thread creation is rare, so
+    /// even the combined-syscall backend uses the per-thread route here.
+    pub fn install_on_thread(&mut self, machine: &mut Machine, tid: ThreadId) {
+        let backend = match self.backend {
+            WatchBackend::CombinedSyscall => WatchBackend::PerfEvent,
+            other => other,
+        };
+        for slot in self.slots.iter_mut().flatten() {
+            let fd = open_watch_event(machine, backend, slot.canary_addr, tid);
+            slot.fds.push((tid, fd));
+        }
+    }
+
+    /// Forgets descriptors pinned to an exited thread (the kernel closes
+    /// them with the thread; see [`Machine::exit_thread`]).
+    pub fn forget_thread(&mut self, tid: ThreadId) {
+        for slot in self.slots.iter_mut().flatten() {
+            slot.fds.retain(|&(t, _)| t != tid);
+        }
+    }
+
+    /// Removes every watchpoint (end of execution).
+    pub fn remove_all(&mut self, machine: &mut Machine) {
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].is_some() {
+                self.remove_slot(machine, idx);
+            }
+        }
+    }
+
+    fn install_into(&mut self, machine: &mut Machine, idx: usize, candidate: WatchCandidate) {
+        debug_assert!(self.slots[idx].is_none());
+        // Figure 3: install the watchpoint on ALL alive threads, "since
+        // there is no way to know which thread will cause an overflow".
+        let fds = match self.backend {
+            WatchBackend::CombinedSyscall => machine
+                .sys_watch_all_threads(PerfEventAttr::rw_word(candidate.canary_addr))
+                .expect("a debug register is reserved for each managed slot"),
+            _ => {
+                let threads: Vec<ThreadId> = machine.threads().alive().collect();
+                threads
+                    .into_iter()
+                    .map(|tid| {
+                        (
+                            tid,
+                            open_watch_event(machine, self.backend, candidate.canary_addr, tid),
+                        )
+                    })
+                    .collect()
+            }
+        };
+        self.slots[idx] = Some(WatchedObject {
+            object_start: candidate.object_start,
+            canary_addr: candidate.canary_addr,
+            key: candidate.key,
+            ctx_id: candidate.ctx_id,
+            probability_ppm: candidate.probability_ppm,
+            installed_at: machine.now(),
+            fds,
+        });
+    }
+
+    fn remove_slot(&mut self, machine: &mut Machine, idx: usize) {
+        let watched = self.slots[idx].take().expect("slot occupied");
+        match self.backend {
+            WatchBackend::PerfEvent => {
+                // Figure 4: disable the event and close the descriptor on
+                // every thread that still holds one.
+                for (_tid, fd) in watched.fds {
+                    machine
+                        .sys_ioctl(fd, IoctlCmd::Disable)
+                        .expect("watchpoint event is open");
+                    machine.sys_close(fd).expect("watchpoint event is open");
+                }
+            }
+            WatchBackend::Ptrace => {
+                for (_tid, fd) in watched.fds {
+                    machine
+                        .sys_ptrace_unwatch(fd)
+                        .expect("watchpoint event is open");
+                }
+            }
+            WatchBackend::CombinedSyscall => {
+                let fds: Vec<Fd> = watched.fds.iter().map(|&(_, fd)| fd).collect();
+                machine.sys_unwatch_all(&fds);
+            }
+        }
+    }
+}
+
+/// Installs one armed watchpoint event on one thread through the chosen
+/// backend. The perf route performs the full Figure-3 syscall sequence.
+fn open_watch_event(
+    machine: &mut Machine,
+    backend: WatchBackend,
+    canary_addr: VirtAddr,
+    tid: ThreadId,
+) -> Fd {
+    match backend {
+        WatchBackend::Ptrace => machine
+            .sys_ptrace_watch(PerfEventAttr::rw_word(canary_addr), tid)
+            .expect("a debug register is reserved for each managed slot"),
+        _ => {
+            let fd = machine
+                .sys_perf_event_open(PerfEventAttr::rw_word(canary_addr), tid)
+                .expect("a debug register is reserved for each managed slot");
+            let _flags = machine.sys_fcntl(fd, FcntlCmd::GetFl).expect("fd open");
+            machine.sys_fcntl(fd, FcntlCmd::SetFlAsync).expect("fd open");
+            machine
+                .sys_fcntl(fd, FcntlCmd::SetSig(Signal::Trap))
+                .expect("fd open");
+            machine.sys_fcntl(fd, FcntlCmd::SetOwn(tid)).expect("fd open");
+            machine.sys_ioctl(fd, IoctlCmd::Enable).expect("fd open");
+            fd
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csod_ctx::FrameTable;
+
+    fn machine_with_heap() -> (Machine, VirtAddr) {
+        let mut m = Machine::new();
+        let base = VirtAddr::new(0x10_0000);
+        m.map_region(base, 1 << 16, "heap").unwrap();
+        (m, base)
+    }
+
+    fn candidate(frames: &FrameTable, base: VirtAddr, n: u64, prob: u32) -> WatchCandidate {
+        WatchCandidate {
+            object_start: base + n * 64,
+            canary_addr: base + n * 64 + 56,
+            key: ContextKey::new(frames.intern(&format!("site{n}")), 0),
+            ctx_id: CtxId::from_index(n as u32),
+            probability_ppm: prob,
+        }
+    }
+
+    fn manager(policy: ReplacementPolicy) -> WatchpointManager {
+        WatchpointManager::new(policy, VirtDuration::from_secs(10))
+    }
+
+    #[test]
+    fn free_slots_always_accept() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        for i in 0..4 {
+            // Probability zero — availability still wins.
+            let out = w.consider(&mut m, candidate(&frames, base, i, 0), &mut rng, |_| None);
+            assert_eq!(out, InstallOutcome::InstalledFree);
+        }
+        assert_eq!(w.watched_count(), 4);
+        assert!(!w.has_free_slot());
+        assert_eq!(w.stats().installs, 4);
+    }
+
+    #[test]
+    fn naive_never_preempts() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        for i in 0..4 {
+            w.consider(&mut m, candidate(&frames, base, i, 10), &mut rng, |_| None);
+        }
+        let out = w.consider(&mut m, candidate(&frames, base, 9, 1_000_000), &mut rng, |_| None);
+        assert_eq!(out, InstallOutcome::Rejected);
+        assert_eq!(w.stats().rejected, 1);
+    }
+
+    #[test]
+    fn random_replaces_lower_probability_victim() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Random);
+        for i in 0..4 {
+            w.consider(&mut m, candidate(&frames, base, i, 100), &mut rng, |_| None);
+        }
+        let strong = candidate(&frames, base, 9, 500_000);
+        assert_eq!(w.consider(&mut m, strong, &mut rng, |_| None), InstallOutcome::Replaced);
+        assert!(w.is_watched(strong.object_start));
+        // A weaker candidate loses everywhere.
+        let weak = candidate(&frames, base, 10, 50);
+        assert_eq!(w.consider(&mut m, weak, &mut rng, |_| None), InstallOutcome::Rejected);
+    }
+
+    #[test]
+    fn near_fifo_checks_cursor_only() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::NearFifo);
+        // Slot 0 holds a strong watchpoint; slots 1..3 weak ones.
+        w.consider(&mut m, candidate(&frames, base, 0, 900_000), &mut rng, |_| None);
+        for i in 1..4 {
+            w.consider(&mut m, candidate(&frames, base, i, 10), &mut rng, |_| None);
+        }
+        // Candidate beats slots 1..3 but not slot 0 — the cursor points
+        // at slot 0, so near-FIFO rejects.
+        let mid = candidate(&frames, base, 9, 100_000);
+        assert_eq!(w.consider(&mut m, mid, &mut rng, |_| None), InstallOutcome::Rejected);
+        // A candidate that beats slot 0 replaces it and advances the cursor.
+        let strong = candidate(&frames, base, 10, 950_000);
+        assert_eq!(w.consider(&mut m, strong, &mut rng, |_| None), InstallOutcome::Replaced);
+        // Now the cursor is at slot 1 (weak): mid-strength wins.
+        assert_eq!(w.consider(&mut m, mid, &mut rng, |_| None), InstallOutcome::Replaced);
+    }
+
+    #[test]
+    fn effective_probability_decays_with_age() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::NearFifo);
+        for i in 0..4 {
+            w.consider(&mut m, candidate(&frames, base, i, 400_000), &mut rng, |_| None);
+        }
+        // A 300k candidate loses against fresh 400k watchpoints...
+        let c = candidate(&frames, base, 9, 300_000);
+        assert_eq!(w.consider(&mut m, c, &mut rng, |_| None), InstallOutcome::Rejected);
+        // ...but wins once they are 10+ seconds old (400k -> 200k).
+        m.skip_time(VirtDuration::from_secs(10));
+        assert_eq!(w.consider(&mut m, c, &mut rng, |_| None), InstallOutcome::Replaced);
+    }
+
+    #[test]
+    fn removal_on_free_releases_slot_and_registers() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        let c = candidate(&frames, base, 0, 10);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        assert_eq!(m.free_registers(ThreadId::MAIN), 3);
+        assert!(w.remove_by_object(&mut m, c.object_start));
+        assert!(!w.remove_by_object(&mut m, c.object_start));
+        assert_eq!(m.free_registers(ThreadId::MAIN), 4);
+        assert_eq!(w.stats().removals_on_free, 1);
+        assert!(w.has_free_slot());
+    }
+
+    #[test]
+    fn installs_cover_all_alive_threads() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        let c = candidate(&frames, base, 0, 10);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        let obj = w.find_by_object(c.object_start).unwrap();
+        let tids: Vec<ThreadId> = obj.descriptors().map(|(t, _)| t).collect();
+        assert_eq!(tids, vec![ThreadId::MAIN, worker]);
+        // The worker touching the canary fires on the worker.
+        m.app_write(worker, c.canary_addr, 8).unwrap();
+        let sigs = m.take_signals();
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].thread, worker);
+    }
+
+    #[test]
+    fn new_thread_inherits_watchpoints() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        let c = candidate(&frames, base, 0, 10);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        let late = m.spawn_thread();
+        w.install_on_thread(&mut m, late);
+        m.app_read(late, c.canary_addr, 8).unwrap();
+        assert_eq!(m.take_signals().len(), 1);
+    }
+
+    #[test]
+    fn find_by_fd_resolves_the_firing_watchpoint() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        let c0 = candidate(&frames, base, 0, 10);
+        let c1 = candidate(&frames, base, 1, 10);
+        w.consider(&mut m, c0, &mut rng, |_| None);
+        w.consider(&mut m, c1, &mut rng, |_| None);
+        m.app_write(ThreadId::MAIN, c1.canary_addr, 8).unwrap();
+        let sig = m.take_signals().pop().unwrap();
+        let hit = w.find_by_fd(sig.fd.unwrap()).unwrap();
+        assert_eq!(hit.object_start, c1.object_start);
+        assert!(w.find_by_fd(Fd::from_raw(9999)).is_none());
+    }
+
+    #[test]
+    fn thread_exit_is_forgotten() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        let c = candidate(&frames, base, 0, 10);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        w.forget_thread(worker);
+        m.exit_thread(worker).unwrap();
+        // Removing the object must not try to close the dead thread's fd.
+        assert!(w.remove_by_object(&mut m, c.object_start));
+    }
+
+    #[test]
+    fn ptrace_backend_installs_working_watchpoints_at_higher_cost() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = WatchpointManager::with_backend(
+            ReplacementPolicy::Naive,
+            WatchBackend::Ptrace,
+            VirtDuration::from_secs(10),
+        );
+        let c = candidate(&frames, base, 0, 10);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        let ptrace_cost = m.counter().tool_ns();
+        m.app_write(ThreadId::MAIN, c.canary_addr, 8).unwrap();
+        assert_eq!(m.take_signals().len(), 1, "ptrace watch traps too");
+        assert!(w.remove_by_object(&mut m, c.object_start));
+        assert_eq!(m.open_events(), 0);
+
+        let (mut m2, base2) = machine_with_heap();
+        let mut w2 = manager(ReplacementPolicy::Naive);
+        w2.consider(&mut m2, candidate(&frames, base2, 0, 10), &mut rng, |_| None);
+        assert!(ptrace_cost > 3 * m2.counter().tool_ns());
+    }
+
+    #[test]
+    fn combined_backend_uses_one_syscall_per_install() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = WatchpointManager::with_backend(
+            ReplacementPolicy::Naive,
+            WatchBackend::CombinedSyscall,
+            VirtDuration::from_secs(10),
+        );
+        let c = candidate(&frames, base, 0, 10);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        assert_eq!(m.counter().syscalls(), 1, "one kernel entry for both threads");
+        m.app_write(worker, c.canary_addr, 8).unwrap();
+        assert_eq!(m.take_signals().len(), 1);
+        assert!(w.remove_by_object(&mut m, c.object_start));
+        assert_eq!(m.counter().syscalls(), 2);
+        assert_eq!(m.open_events(), 0);
+        // Late threads still get covered via the per-thread fallback.
+        w.consider(&mut m, c, &mut rng, |_| None);
+        let late = m.spawn_thread();
+        w.install_on_thread(&mut m, late);
+        m.app_read(late, c.canary_addr, 8).unwrap();
+        assert_eq!(m.take_signals().len(), 1);
+    }
+
+    #[test]
+    fn remove_all_clears_every_slot() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Random);
+        for i in 0..4 {
+            w.consider(&mut m, candidate(&frames, base, i, 10), &mut rng, |_| None);
+        }
+        w.remove_all(&mut m);
+        assert_eq!(w.watched_count(), 0);
+        assert_eq!(m.open_events(), 0);
+    }
+}

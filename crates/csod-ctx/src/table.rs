@@ -1,0 +1,258 @@
+//! The concurrent context table.
+//!
+//! CSOD keeps per-context sampling state in "a global hash table … For
+//! all contexts that hash to the same value, a linked list is utilized to
+//! track these contexts, which has its own lock" (paper Section III-B1).
+//! [`ContextTable`] reproduces that design: a fixed array of buckets,
+//! each a small vector guarded by its own lock, sized large "to reduce
+//! hash conflicts … at the cost of memory consumption".
+//!
+//! The table is generic over the per-context payload `V`; the CSOD core
+//! instantiates it with its sampling state, and tests instantiate it
+//! with counters.
+
+use crate::key::ContextKey;
+use parking_lot::Mutex;
+
+/// Default bucket count — "set to a large number to reduce hash
+/// conflicts" (paper Section III-B1).
+pub const DEFAULT_BUCKETS: usize = 4096;
+
+/// A bucket-locked hash table keyed by [`ContextKey`].
+///
+/// # Examples
+///
+/// ```
+/// use csod_ctx::{ContextKey, ContextTable, FrameTable};
+///
+/// let frames = FrameTable::new();
+/// let key = ContextKey::new(frames.intern("app.c:10"), 0x20);
+/// let table: ContextTable<u64> = ContextTable::new();
+///
+/// // Count allocations from this context.
+/// table.with_entry(key, || 0, |count| *count += 1);
+/// table.with_entry(key, || 0, |count| *count += 1);
+/// assert_eq!(table.get_cloned(key), Some(2));
+/// ```
+#[derive(Debug)]
+pub struct ContextTable<V> {
+    buckets: Vec<Mutex<Vec<(ContextKey, V)>>>,
+}
+
+impl<V> Default for ContextTable<V> {
+    fn default() -> Self {
+        ContextTable::new()
+    }
+}
+
+impl<V> ContextTable<V> {
+    /// Creates a table with [`DEFAULT_BUCKETS`] buckets.
+    pub fn new() -> Self {
+        ContextTable::with_buckets(DEFAULT_BUCKETS)
+    }
+
+    /// Creates a table with `buckets` buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn with_buckets(buckets: usize) -> Self {
+        assert!(buckets > 0, "context table needs at least one bucket");
+        ContextTable {
+            buckets: (0..buckets).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Runs `f` on the entry for `key`, inserting `init()` first if the
+    /// key is new. Returns `f`'s result together with whether the entry
+    /// was newly created (CSOD captures the full backtrace exactly when
+    /// this is `true`).
+    pub fn with_entry<R>(
+        &self,
+        key: ContextKey,
+        init: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V) -> R,
+    ) -> R {
+        self.with_entry_tracked(key, init, |v, _| f(v))
+    }
+
+    /// Like [`ContextTable::with_entry`], but `f` also receives `true`
+    /// when the entry was just inserted.
+    pub fn with_entry_tracked<R>(
+        &self,
+        key: ContextKey,
+        init: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V, bool) -> R,
+    ) -> R {
+        let mut bucket = self.buckets[key.bucket(self.buckets.len())].lock();
+        if let Some(pos) = bucket.iter().position(|(k, _)| *k == key) {
+            let (_, v) = &mut bucket[pos];
+            return f(v, false);
+        }
+        bucket.push((key, init()));
+        let (_, v) = bucket.last_mut().expect("just pushed");
+        f(v, true)
+    }
+
+    /// Runs `f` on the entry for `key` if present.
+    pub fn with_existing<R>(&self, key: ContextKey, f: impl FnOnce(&mut V) -> R) -> Option<R> {
+        let mut bucket = self.buckets[key.bucket(self.buckets.len())].lock();
+        bucket
+            .iter_mut()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| f(v))
+    }
+
+    /// Whether `key` has an entry.
+    pub fn contains(&self, key: ContextKey) -> bool {
+        let bucket = self.buckets[key.bucket(self.buckets.len())].lock();
+        bucket.iter().any(|(k, _)| *k == key)
+    }
+
+    /// Total number of entries (locks each bucket in turn).
+    pub fn len(&self) -> usize {
+        self.buckets.iter().map(|b| b.lock().len()).sum()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every entry; buckets are locked one at a time, so the view
+    /// is per-bucket consistent (sufficient for end-of-run reporting).
+    pub fn for_each(&self, mut f: impl FnMut(ContextKey, &V)) {
+        for bucket in &self.buckets {
+            for (k, v) in bucket.lock().iter() {
+                f(*k, v);
+            }
+        }
+    }
+
+    /// Visits every entry mutably.
+    pub fn for_each_mut(&self, mut f: impl FnMut(ContextKey, &mut V)) {
+        for bucket in &self.buckets {
+            for (k, v) in bucket.lock().iter_mut() {
+                f(*k, v);
+            }
+        }
+    }
+
+    /// The longest chain among all buckets — the hash-conflict metric
+    /// the paper's design aims to keep near one.
+    pub fn max_bucket_load(&self) -> usize {
+        self.buckets.iter().map(|b| b.lock().len()).max().unwrap_or(0)
+    }
+}
+
+impl<V: Clone> ContextTable<V> {
+    /// Clones the entry for `key`, if any.
+    pub fn get_cloned(&self, key: ContextKey) -> Option<V> {
+        self.with_existing(key, |v| v.clone())
+    }
+
+    /// Snapshots all entries into a vector.
+    pub fn snapshot(&self) -> Vec<(ContextKey, V)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|k, v| out.push((k, v.clone())));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameTable;
+
+    fn key(frames: &FrameTable, site: &str, off: u64) -> ContextKey {
+        ContextKey::new(frames.intern(site), off)
+    }
+
+    #[test]
+    fn insert_and_update() {
+        let frames = FrameTable::new();
+        let table: ContextTable<u32> = ContextTable::new();
+        let k = key(&frames, "a.c:1", 0);
+        let fresh = table.with_entry_tracked(k, || 0, |_, fresh| fresh);
+        assert!(fresh);
+        let fresh = table.with_entry_tracked(k, || 0, |v, fresh| {
+            *v += 5;
+            fresh
+        });
+        assert!(!fresh);
+        assert_eq!(table.get_cloned(k), Some(5));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn with_existing_on_absent_key() {
+        let frames = FrameTable::new();
+        let table: ContextTable<u32> = ContextTable::new();
+        assert_eq!(table.with_existing(key(&frames, "a.c:1", 0), |_| ()), None);
+        assert!(!table.contains(key(&frames, "a.c:1", 0)));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn colliding_keys_share_a_bucket_chain() {
+        let frames = FrameTable::new();
+        // One bucket forces every key into the same chain.
+        let table: ContextTable<u32> = ContextTable::with_buckets(1);
+        for i in 0..10 {
+            table.with_entry(key(&frames, &format!("f{i}"), i), || i as u32, |_| ());
+        }
+        assert_eq!(table.len(), 10);
+        assert_eq!(table.max_bucket_load(), 10);
+        // Each key still finds its own value.
+        for i in 0..10u64 {
+            assert_eq!(table.get_cloned(key(&frames, &format!("f{i}"), i)), Some(i as u32));
+        }
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let frames = FrameTable::new();
+        let table: ContextTable<u64> = ContextTable::new();
+        for i in 0..50 {
+            table.with_entry(key(&frames, &format!("s{i}"), 0), || i, |_| ());
+        }
+        let mut sum = 0;
+        table.for_each(|_, v| sum += *v);
+        assert_eq!(sum, (0..50).sum::<u64>());
+        table.for_each_mut(|_, v| *v = 0);
+        assert!(table.snapshot().iter().all(|(_, v)| *v == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _: ContextTable<()> = ContextTable::with_buckets(0);
+    }
+
+    #[test]
+    fn concurrent_counting_is_consistent() {
+        let frames = FrameTable::new();
+        let table: ContextTable<u64> = ContextTable::with_buckets(8);
+        let keys: Vec<ContextKey> = (0..16).map(|i| key(&frames, &format!("k{i}"), 0)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    for _ in 0..1000 {
+                        for &k in &keys {
+                            table.with_entry(k, || 0, |v| *v += 1);
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        for &k in &keys {
+            assert_eq!(table.get_cloned(k), Some(4000));
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! A per-thread caching front-end for the heap (tcmalloc/glibc-tcache
+//! style).
+//!
+//! Production allocators avoid central-freelist contention by giving
+//! every thread a small cache of recently freed blocks per size class.
+//! [`ThreadCachedHeap`] layers that design over [`SimHeap`]: frees park
+//! blocks in the freeing thread's cache; same-class allocations from the
+//! same thread reuse them without touching the central heap. The cache
+//! is bounded per class; overflow flushes half the entries back.
+//!
+//! Detection tools interpose *around* whichever allocator the program
+//! uses — this layer exists so the substrate credibly covers the
+//! multithreaded-allocator designs the paper's server workloads
+//! (MySQL, Memcached) actually run on.
+
+use crate::heap::{HeapConfig, HeapError, SimHeap};
+use crate::size_class::{SizeClass, NUM_CLASSES};
+use sim_machine::{CostDomain, Machine, ThreadId, VirtAddr};
+use std::collections::HashMap;
+
+/// Configuration of the per-thread caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcacheConfig {
+    /// Maximum cached blocks per size class per thread (glibc's tcache
+    /// keeps 7).
+    pub entries_per_class: usize,
+}
+
+impl Default for TcacheConfig {
+    fn default() -> Self {
+        TcacheConfig {
+            entries_per_class: 7,
+        }
+    }
+}
+
+/// Counters for the cache layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcacheStats {
+    /// Allocations served from a thread cache.
+    pub hits: u64,
+    /// Allocations that fell through to the central heap.
+    pub misses: u64,
+    /// Frees parked in a thread cache.
+    pub cached_frees: u64,
+    /// Blocks flushed back to the central heap.
+    pub flushed: u64,
+}
+
+/// Per-thread cached blocks, one stack per size class.
+#[derive(Debug)]
+struct ThreadCache {
+    classes: Vec<Vec<(VirtAddr, u64)>>, // (block start, cached requested size)
+}
+
+impl ThreadCache {
+    fn new() -> Self {
+        ThreadCache {
+            classes: (0..NUM_CLASSES).map(|_| Vec::new()).collect(),
+        }
+    }
+}
+
+/// A [`SimHeap`] fronted by per-thread caches.
+///
+/// # Examples
+///
+/// ```
+/// use sim_heap::{HeapConfig, TcacheConfig, ThreadCachedHeap};
+/// use sim_machine::{Machine, ThreadId};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut machine = Machine::new();
+/// let mut heap = ThreadCachedHeap::new(
+///     &mut machine,
+///     HeapConfig::default(),
+///     TcacheConfig::default(),
+/// )?;
+/// let p = heap.malloc(&mut machine, ThreadId::MAIN, 64)?;
+/// heap.free(&mut machine, ThreadId::MAIN, p)?;
+/// // Same thread, same class: served from the cache.
+/// let q = heap.malloc(&mut machine, ThreadId::MAIN, 60)?;
+/// assert_eq!(p, q);
+/// assert_eq!(heap.stats().hits, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ThreadCachedHeap {
+    heap: SimHeap,
+    config: TcacheConfig,
+    caches: HashMap<ThreadId, ThreadCache>,
+    stats: TcacheStats,
+}
+
+impl ThreadCachedHeap {
+    /// Creates the layered heap, mapping the underlying region.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures from the underlying heap.
+    pub fn new(
+        machine: &mut Machine,
+        heap_config: HeapConfig,
+        config: TcacheConfig,
+    ) -> Result<Self, sim_machine::MemoryError> {
+        Ok(ThreadCachedHeap {
+            heap: SimHeap::new(machine, heap_config)?,
+            config,
+            caches: HashMap::new(),
+            stats: TcacheStats::default(),
+        })
+    }
+
+    /// Allocates `size` bytes for `tid`, trying the thread cache first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::OutOfMemory`] when the region is exhausted.
+    pub fn malloc(
+        &mut self,
+        machine: &mut Machine,
+        tid: ThreadId,
+        size: u64,
+    ) -> Result<VirtAddr, HeapError> {
+        let class = SizeClass::for_request(size);
+        if let Some(index) = class.index() {
+            let cache = self.caches.entry(tid).or_insert_with(ThreadCache::new);
+            if let Some((addr, _cached_size)) = cache.classes[index].pop() {
+                // A cache hit is a handful of instructions — the whole
+                // point of the design.
+                machine.charge(CostDomain::App, machine.costs().rng_draw);
+                self.stats.hits += 1;
+                // Update the central book-keeping to the new requested
+                // size (the block stayed live throughout).
+                self.heap
+                    .realloc(machine, addr, size)
+                    .expect("cached block is live and fits its class");
+                return Ok(addr);
+            }
+        }
+        self.stats.misses += 1;
+        self.heap.malloc(machine, size)
+    }
+
+    /// Frees the allocation at `addr` into `tid`'s cache (or the central
+    /// heap for large blocks and overflowing caches).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeapError::InvalidPointer`] for wild or double frees.
+    pub fn free(
+        &mut self,
+        machine: &mut Machine,
+        tid: ThreadId,
+        addr: VirtAddr,
+    ) -> Result<(), HeapError> {
+        let Some(requested) = self.heap.requested_size(addr) else {
+            return Err(HeapError::InvalidPointer(addr));
+        };
+        let class = SizeClass::for_request(requested);
+        let Some(index) = class.index() else {
+            // Large blocks go straight back.
+            self.heap.free(machine, addr)?;
+            return Ok(());
+        };
+        // Double-free through the cache: the block may already be parked.
+        let cache = self.caches.entry(tid).or_insert_with(ThreadCache::new);
+        if cache.classes[index].iter().any(|&(a, _)| a == addr) {
+            return Err(HeapError::InvalidPointer(addr));
+        }
+        cache.classes[index].push((addr, requested));
+        self.stats.cached_frees += 1;
+        if cache.classes[index].len() > self.config.entries_per_class {
+            // Flush the older half back to the central heap.
+            let keep = self.config.entries_per_class / 2;
+            let surplus = cache.classes[index].len() - keep;
+            let drain: Vec<(VirtAddr, u64)> =
+                cache.classes[index].drain(..surplus).collect();
+            for (block, _) in drain {
+                self.heap.free(machine, block)?;
+                self.stats.flushed += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes every thread cache back to the central heap (thread exit
+    /// or program end).
+    ///
+    /// # Errors
+    ///
+    /// Propagates central-heap errors (an invariant violation).
+    pub fn flush_all(&mut self, machine: &mut Machine) -> Result<(), HeapError> {
+        for (_, cache) in self.caches.drain() {
+            for class in cache.classes {
+                for (block, _) in class {
+                    self.heap.free(machine, block)?;
+                    self.stats.flushed += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Cache-layer counters.
+    pub fn stats(&self) -> TcacheStats {
+        self.stats
+    }
+
+    /// The central heap underneath (cached blocks count as live there).
+    pub fn inner(&self) -> &SimHeap {
+        &self.heap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Machine, ThreadCachedHeap) {
+        let mut machine = Machine::new();
+        let heap =
+            ThreadCachedHeap::new(&mut machine, HeapConfig::default(), TcacheConfig::default())
+                .unwrap();
+        (machine, heap)
+    }
+
+    #[test]
+    fn same_thread_same_class_hits() {
+        let (mut m, mut h) = setup();
+        let p = h.malloc(&mut m, ThreadId::MAIN, 64).unwrap();
+        h.free(&mut m, ThreadId::MAIN, p).unwrap();
+        let q = h.malloc(&mut m, ThreadId::MAIN, 50).unwrap(); // same class (64)
+        assert_eq!(p, q);
+        let s = h.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        // Book-keeping follows the new request.
+        assert_eq!(h.inner().requested_size(q), Some(50));
+    }
+
+    #[test]
+    fn other_thread_does_not_see_the_cache() {
+        let (mut m, mut h) = setup();
+        let worker = m.spawn_thread();
+        let p = h.malloc(&mut m, ThreadId::MAIN, 64).unwrap();
+        h.free(&mut m, ThreadId::MAIN, p).unwrap();
+        let q = h.malloc(&mut m, worker, 64).unwrap();
+        assert_ne!(p, q, "worker misses MAIN's cache");
+        assert_eq!(h.stats().hits, 0);
+    }
+
+    #[test]
+    fn different_class_misses() {
+        let (mut m, mut h) = setup();
+        let p = h.malloc(&mut m, ThreadId::MAIN, 64).unwrap();
+        h.free(&mut m, ThreadId::MAIN, p).unwrap();
+        let q = h.malloc(&mut m, ThreadId::MAIN, 2_000).unwrap();
+        assert_ne!(p, q);
+        assert_eq!(h.stats().hits, 0);
+    }
+
+    #[test]
+    fn cache_overflow_flushes_half() {
+        let (mut m, mut h) = setup();
+        let mut blocks = Vec::new();
+        for _ in 0..16 {
+            blocks.push(h.malloc(&mut m, ThreadId::MAIN, 64).unwrap());
+        }
+        for b in blocks {
+            h.free(&mut m, ThreadId::MAIN, b).unwrap();
+        }
+        let s = h.stats();
+        assert!(s.flushed > 0, "cap of 7 forces flushes");
+        assert_eq!(s.cached_frees, 16);
+    }
+
+    #[test]
+    fn double_free_detected_even_when_cached() {
+        let (mut m, mut h) = setup();
+        let p = h.malloc(&mut m, ThreadId::MAIN, 64).unwrap();
+        h.free(&mut m, ThreadId::MAIN, p).unwrap();
+        assert_eq!(
+            h.free(&mut m, ThreadId::MAIN, p),
+            Err(HeapError::InvalidPointer(p))
+        );
+    }
+
+    #[test]
+    fn large_blocks_bypass_the_cache() {
+        let (mut m, mut h) = setup();
+        let p = h.malloc(&mut m, ThreadId::MAIN, 100_000).unwrap();
+        h.free(&mut m, ThreadId::MAIN, p).unwrap();
+        assert_eq!(h.stats().cached_frees, 0);
+        assert_eq!(h.inner().stats().live_objects(), 0);
+    }
+
+    #[test]
+    fn flush_all_returns_everything() {
+        let (mut m, mut h) = setup();
+        let worker = m.spawn_thread();
+        for tid in [ThreadId::MAIN, worker] {
+            for _ in 0..3 {
+                let p = h.malloc(&mut m, tid, 64).unwrap();
+                h.free(&mut m, tid, p).unwrap();
+            }
+        }
+        h.flush_all(&mut m).unwrap();
+        assert_eq!(h.inner().stats().live_objects(), 0);
+    }
+
+    #[test]
+    fn wild_free_rejected() {
+        let (mut m, mut h) = setup();
+        let bogus = VirtAddr::new(0x1234);
+        assert_eq!(
+            h.free(&mut m, ThreadId::MAIN, bogus),
+            Err(HeapError::InvalidPointer(bogus))
+        );
+    }
+}

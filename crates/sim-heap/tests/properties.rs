@@ -1,0 +1,120 @@
+//! Property-based tests of the allocator substrate.
+
+use proptest::prelude::*;
+use sim_heap::{HeapConfig, SimHeap, SizeClass, MIN_ALIGN};
+use sim_machine::{Machine, VirtAddr};
+
+fn setup() -> (Machine, SimHeap) {
+    let mut machine = Machine::new();
+    let heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+    (machine, heap)
+}
+
+proptest! {
+    /// calloc always returns zeroed memory, even when recycling a block
+    /// that previous owners dirtied.
+    #[test]
+    fn calloc_is_always_zero(sizes in proptest::collection::vec(1u64..2048, 1..30)) {
+        let (mut machine, mut heap) = setup();
+        for size in sizes {
+            let dirty = heap.malloc(&mut machine, size).unwrap();
+            machine.raw_fill(dirty, size, 0xEE).unwrap();
+            heap.free(&mut machine, dirty).unwrap();
+            let clean = heap.calloc(&mut machine, size).unwrap();
+            let mut buf = vec![0xAAu8; size as usize];
+            machine.raw_read_bytes(clean, &mut buf).unwrap();
+            prop_assert!(buf.iter().all(|&b| b == 0), "calloc must zero");
+            heap.free(&mut machine, clean).unwrap();
+        }
+    }
+
+    /// realloc preserves the common prefix and tracks the requested
+    /// size, for any grow/shrink sequence.
+    #[test]
+    fn realloc_preserves_prefix(steps in proptest::collection::vec(1u64..4096, 2..12)) {
+        let (mut machine, mut heap) = setup();
+        let mut addr = heap.malloc(&mut machine, steps[0]).unwrap();
+        let mut size = steps[0];
+        // A recognizable pattern in the first bytes.
+        let stamp = [0xAB, 0xCD, 0xEF, 0x01];
+        let stamp_len = (size as usize).min(4);
+        machine.raw_write_bytes(addr, &stamp[..stamp_len]).unwrap();
+        // Shrinking truncates: only the bytes surviving every
+        // intermediate size are guaranteed.
+        let mut survivors = stamp_len;
+        for &new_size in &steps[1..] {
+            addr = heap.realloc(&mut machine, addr, new_size).unwrap();
+            survivors = survivors.min(new_size as usize);
+            let mut buf = vec![0u8; survivors];
+            machine.raw_read_bytes(addr, &mut buf).unwrap();
+            prop_assert_eq!(&buf[..], &stamp[..survivors], "prefix preserved");
+            size = new_size;
+            prop_assert_eq!(heap.requested_size(addr), Some(size));
+            prop_assert!(heap.usable_size(addr).unwrap() >= size);
+        }
+        heap.free(&mut machine, addr).unwrap();
+        prop_assert_eq!(heap.stats().live_objects(), 0);
+    }
+
+    /// memalign honors any power-of-two alignment and the object is
+    /// fully usable.
+    #[test]
+    fn memalign_alignment_holds(align_pow in 4u32..16, size in 1u64..8192) {
+        let (mut machine, mut heap) = setup();
+        let align = 1u64 << align_pow;
+        let addr = heap.memalign(&mut machine, align, size).unwrap();
+        prop_assert!(addr.is_aligned(align));
+        machine.raw_fill(addr, size, 0x5A).unwrap();
+        prop_assert_eq!(heap.free(&mut machine, addr).unwrap(), size);
+    }
+
+    /// Freed classed blocks are recycled for same-class requests before
+    /// new wilderness is carved.
+    #[test]
+    fn freelist_recycles_before_carving(size in 1u64..(32u64 << 10)) {
+        let (mut machine, mut heap) = setup();
+        let a = heap.malloc(&mut machine, size).unwrap();
+        heap.free(&mut machine, a).unwrap();
+        let carved_before = heap.stats().wilderness_bytes;
+        // Any request in the same class must reuse the block.
+        let block = SizeClass::for_request(size).block_size();
+        let b = heap.malloc(&mut machine, block).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(heap.stats().wilderness_bytes, carved_before);
+    }
+
+    /// Accounting invariants hold across arbitrary operation sequences:
+    /// in-use never exceeds the wilderness high-water mark, peaks are
+    /// monotone upper bounds, and block-rounding never loses bytes.
+    #[test]
+    fn accounting_invariants(ops in proptest::collection::vec((1u64..4096, any::<bool>()), 1..80)) {
+        let (mut machine, mut heap) = setup();
+        let mut live: Vec<VirtAddr> = Vec::new();
+        for (size, do_free) in ops {
+            if do_free && !live.is_empty() {
+                let addr = live.swap_remove(live.len() / 2);
+                heap.free(&mut machine, addr).unwrap();
+            } else {
+                live.push(heap.malloc(&mut machine, size).unwrap());
+            }
+            let s = heap.stats();
+            prop_assert!(s.in_use_bytes <= s.wilderness_bytes);
+            prop_assert!(s.peak_in_use_bytes >= s.in_use_bytes);
+            prop_assert!(s.peak_requested_bytes >= s.requested_bytes);
+            prop_assert!(s.in_use_bytes >= s.requested_bytes, "blocks >= requests");
+            prop_assert_eq!(s.live_objects(), live.len() as u64);
+        }
+    }
+
+    /// Every handed-out block is MIN_ALIGN-aligned and usable_size
+    /// covers the request, whatever the request mix.
+    #[test]
+    fn alignment_and_usable_size(sizes in proptest::collection::vec(1u64..100_000, 1..40)) {
+        let (mut machine, mut heap) = setup();
+        for size in sizes {
+            let addr = heap.malloc(&mut machine, size).unwrap();
+            prop_assert!(addr.is_aligned(MIN_ALIGN));
+            prop_assert!(heap.usable_size(addr).unwrap() >= size);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! The per-thread hardware debug-register file.
+//!
+//! Intel x86-64 exposes six debug registers of which only four (DR0–DR3)
+//! can hold watchpoint addresses (paper Section II-A); the other two
+//! control debugging features. The simulator models exactly that limit:
+//! each thread owns a [`DebugRegisterFile`] with
+//! [`NUM_WATCHPOINT_REGISTERS`] slots, and requesting a fifth concurrent
+//! watchpoint fails just like `perf_event_open` returning `EBUSY` on real
+//! hardware.
+
+use crate::perf::Fd;
+use std::fmt;
+
+/// Number of address-bearing debug registers on real x86-64 (DR0–DR3).
+pub const NUM_WATCHPOINT_REGISTERS: usize = 4;
+
+/// One thread's debug registers. Each slot holds the perf-event
+/// descriptor that claimed it, or `None` when free.
+///
+/// Real hardware has exactly [`NUM_WATCHPOINT_REGISTERS`]; the simulator
+/// allows other counts so the `ablation_registers` harness can ask the
+/// what-if question behind the paper's central constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DebugRegisterFile {
+    slots: Vec<Option<Fd>>,
+}
+
+impl Default for DebugRegisterFile {
+    fn default() -> Self {
+        DebugRegisterFile::new()
+    }
+}
+
+impl DebugRegisterFile {
+    /// A register file with the four x86-64 slots, all free.
+    pub fn new() -> Self {
+        DebugRegisterFile::with_registers(NUM_WATCHPOINT_REGISTERS)
+    }
+
+    /// A register file with `n` slots (hypothetical hardware).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_registers(n: usize) -> Self {
+        assert!(n > 0, "at least one debug register");
+        DebugRegisterFile {
+            slots: vec![None; n],
+        }
+    }
+
+    /// Number of slots this file has.
+    pub fn register_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Claims a free register for `fd`, returning its index, or `None`
+    /// when all four are busy.
+    pub fn claim(&mut self, fd: Fd) -> Option<usize> {
+        let index = self.slots.iter().position(Option::is_none)?;
+        self.slots[index] = Some(fd);
+        Some(index)
+    }
+
+    /// Releases the register held by `fd`, returning whether one was held.
+    pub fn release(&mut self, fd: Fd) -> bool {
+        for slot in &mut self.slots {
+            if *slot == Some(fd) {
+                *slot = None;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of free registers.
+    pub fn free_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_none()).count()
+    }
+
+    /// Iterates over the descriptors currently holding registers.
+    pub fn occupants(&self) -> impl Iterator<Item = Fd> + '_ {
+        self.slots.iter().filter_map(|s| *s)
+    }
+
+    /// Returns `true` if `fd` holds one of the registers.
+    pub fn holds(&self, fd: Fd) -> bool {
+        self.slots.contains(&Some(fd))
+    }
+}
+
+impl fmt::Display for DebugRegisterFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("DR[")?;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            match slot {
+                Some(fd) => write!(f, "{fd}")?,
+                None => f.write_str("-")?,
+            }
+        }
+        f.write_str("]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claims_up_to_four_registers() {
+        let mut regs = DebugRegisterFile::new();
+        for i in 0..NUM_WATCHPOINT_REGISTERS {
+            let idx = regs.claim(Fd::from_raw(i as u64)).expect("slot free");
+            assert_eq!(idx, i);
+        }
+        assert_eq!(regs.free_count(), 0);
+        assert!(regs.claim(Fd::from_raw(99)).is_none(), "fifth claim must fail");
+    }
+
+    #[test]
+    fn release_frees_slot_for_reuse() {
+        let mut regs = DebugRegisterFile::new();
+        let a = Fd::from_raw(1);
+        let b = Fd::from_raw(2);
+        regs.claim(a).unwrap();
+        regs.claim(b).unwrap();
+        assert!(regs.release(a));
+        assert!(!regs.release(a), "double release reports false");
+        assert_eq!(regs.free_count(), 3);
+        // The freed slot (index 0) is reused first.
+        assert_eq!(regs.claim(Fd::from_raw(3)), Some(0));
+    }
+
+    #[test]
+    fn holds_and_occupants() {
+        let mut regs = DebugRegisterFile::new();
+        let fd = Fd::from_raw(7);
+        assert!(!regs.holds(fd));
+        regs.claim(fd).unwrap();
+        assert!(regs.holds(fd));
+        assert_eq!(regs.occupants().collect::<Vec<_>>(), vec![fd]);
+    }
+
+    #[test]
+    fn display_shows_slots() {
+        let mut regs = DebugRegisterFile::new();
+        regs.claim(Fd::from_raw(5)).unwrap();
+        assert_eq!(regs.to_string(), "DR[fd5, -, -, -]");
+    }
+}

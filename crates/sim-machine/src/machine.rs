@@ -1,0 +1,1048 @@
+//! The machine facade tying memory, threads, debug hardware, the perf
+//! subsystem, signals, and cost accounting together.
+
+use crate::addr::{AccessKind, AddrRange, VirtAddr};
+use crate::clock::{Clock, VirtDuration, VirtInstant};
+use crate::cost::{CostDomain, CostModel, CycleCounter};
+use crate::memory::{AddressSpace, MemoryError};
+use crate::perf::{Fd, FcntlCmd, IoctlCmd, PerfError, PerfEventAttr, PerfSubsystem};
+use crate::recorder::{FlightRecorder, LogEvent};
+use crate::signal::{Signal, SignalInfo, SiteToken};
+use crate::thread::{ThreadError, ThreadId, ThreadRegistry};
+use std::collections::{HashMap, VecDeque};
+
+/// A deterministic simulated machine.
+///
+/// The machine is the single mutable root of the simulation: workloads
+/// perform *application* accesses through [`Machine::app_read`] /
+/// [`Machine::app_write`] (which are charged to the application time
+/// bucket and checked against hardware watchpoints), while tools use the
+/// `sys_*` syscalls (charged to the tool bucket) and the `raw_*` memory
+/// backdoor (free, invisible to watchpoints — used for simulator
+/// bookkeeping such as reading heap metadata).
+///
+/// # Examples
+///
+/// Install a watchpoint the way CSOD does and observe the trap:
+///
+/// ```
+/// use sim_machine::{
+///     FcntlCmd, IoctlCmd, Machine, PerfEventAttr, Signal, ThreadId, VirtAddr,
+/// };
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut m = Machine::new();
+/// let heap = VirtAddr::new(0x10_0000);
+/// m.map_region(heap, 4096, "heap")?;
+///
+/// // Watch the 8-byte word at heap+64 (an object boundary).
+/// let fd = m.sys_perf_event_open(PerfEventAttr::rw_word(heap + 64), ThreadId::MAIN)?;
+/// m.sys_fcntl(fd, FcntlCmd::SetFlAsync)?;
+/// m.sys_fcntl(fd, FcntlCmd::SetSig(Signal::Trap))?;
+/// m.sys_fcntl(fd, FcntlCmd::SetOwn(ThreadId::MAIN))?;
+/// m.sys_ioctl(fd, IoctlCmd::Enable)?;
+///
+/// // The application overflows: writes one word past its 64-byte object.
+/// m.app_write(ThreadId::MAIN, heap + 64, 8)?;
+/// let signals = m.take_signals();
+/// assert_eq!(signals.len(), 1);
+/// assert_eq!(signals[0].signal, Signal::Trap);
+/// assert_eq!(signals[0].fd, Some(fd));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    mem: AddressSpace,
+    clock: Clock,
+    cost: CostModel,
+    counter: CycleCounter,
+    threads: ThreadRegistry,
+    perf: PerfSubsystem,
+    pending: VecDeque<SignalInfo>,
+    current_site: HashMap<ThreadId, SiteToken>,
+    traps_fired: u64,
+    /// PMU access-sampling: sample every Nth application access.
+    pmu_period: Option<u64>,
+    pmu_countdown: u64,
+    pmu_samples: VecDeque<PmuSample>,
+    recorder: Option<FlightRecorder>,
+}
+
+/// One PMU (PEBS-style) memory-access sample, as consumed by the
+/// Sampler baseline: the sampled address plus the execution context the
+/// hardware captures with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PmuSample {
+    /// Thread whose access was sampled.
+    pub thread: ThreadId,
+    /// Sampled effective address.
+    pub addr: VirtAddr,
+    /// Access length in bytes.
+    pub len: u64,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// The statement performing the access.
+    pub site: SiteToken,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine::new()
+    }
+}
+
+impl Machine {
+    /// Creates a machine with the default [`CostModel`].
+    pub fn new() -> Self {
+        Machine::with_costs(CostModel::default())
+    }
+
+    /// Creates a machine with `n` hardware debug registers per thread —
+    /// hypothetical hardware for the register-count ablation; real
+    /// x86-64 has four.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn with_debug_registers(n: usize) -> Self {
+        let mut machine = Machine::new();
+        machine.perf = PerfSubsystem::with_registers(n);
+        machine
+    }
+
+    /// Debug registers available per thread on this machine.
+    pub fn debug_registers(&self) -> usize {
+        self.perf.registers_per_thread()
+    }
+
+    /// Creates a machine with an explicit cost model.
+    pub fn with_costs(cost: CostModel) -> Self {
+        Machine {
+            mem: AddressSpace::new(),
+            clock: Clock::new(),
+            cost,
+            counter: CycleCounter::new(),
+            threads: ThreadRegistry::new(),
+            perf: PerfSubsystem::new(),
+            pending: VecDeque::new(),
+            current_site: HashMap::new(),
+            traps_fired: 0,
+            pmu_period: None,
+            pmu_countdown: 0,
+            pmu_samples: VecDeque::new(),
+            recorder: None,
+        }
+    }
+
+    // ----- time & accounting -------------------------------------------------
+
+    /// The current virtual time.
+    pub fn now(&self) -> VirtInstant {
+        self.clock.now()
+    }
+
+    /// The cost model in effect.
+    pub fn costs(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The accumulated cycle counter.
+    pub fn counter(&self) -> &CycleCounter {
+        &self.counter
+    }
+
+    /// Charges `ns` nanoseconds of CPU time to `domain` and advances the
+    /// clock by the same amount.
+    pub fn charge(&mut self, domain: CostDomain, ns: u64) {
+        let d = self.counter.charge(domain, ns);
+        self.clock.advance(d);
+    }
+
+    /// Models an I/O wait of duration `d` (network, disk): time passes
+    /// but no CPU-side tool cost can change it.
+    pub fn wait_io(&mut self, d: VirtDuration) {
+        self.counter.charge(CostDomain::Io, d.as_nanos());
+        self.clock.advance(d);
+    }
+
+    /// Advances the clock without charging any bucket. Used by tests that
+    /// need to move time (e.g. past CSOD's 10-second windows).
+    pub fn skip_time(&mut self, d: VirtDuration) {
+        self.clock.advance(d);
+    }
+
+    // ----- memory mapping ----------------------------------------------------
+
+    /// Maps `len` zeroed bytes at `base`. See [`AddressSpace::map_region`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemoryError`] for invalid or overlapping mappings.
+    pub fn map_region(&mut self, base: VirtAddr, len: u64, name: &str) -> Result<(), MemoryError> {
+        self.mem.map_region(base, len, name)
+    }
+
+    /// Unmaps the region based at `base`.
+    pub fn unmap_region(&mut self, base: VirtAddr) -> bool {
+        self.mem.unmap_region(base)
+    }
+
+    /// Whether `[addr, addr+len)` is fully mapped.
+    pub fn is_mapped(&self, addr: VirtAddr, len: u64) -> bool {
+        self.mem.is_mapped(addr, len)
+    }
+
+    /// Total mapped bytes (virtual size).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.mem.mapped_bytes()
+    }
+
+    /// Total bytes backed by touched pages (the resident-set analogue;
+    /// regions are demand-paged in 64 KiB chunks).
+    pub fn resident_bytes(&self) -> u64 {
+        self.mem.resident_bytes()
+    }
+
+    // ----- raw memory backdoor (no cost, no watchpoints) ----------------------
+
+    /// Reads bytes without charging time or consulting watchpoints.
+    ///
+    /// This is the simulator's bookkeeping path (allocator metadata,
+    /// canary verification after the watchpoint has been removed, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the range is not mapped.
+    pub fn raw_read_bytes(&self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), MemoryError> {
+        self.mem.read_bytes(addr, buf)
+    }
+
+    /// Writes bytes without charging time or consulting watchpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the range is not mapped.
+    pub fn raw_write_bytes(&mut self, addr: VirtAddr, data: &[u8]) -> Result<(), MemoryError> {
+        self.mem.write_bytes(addr, data)
+    }
+
+    /// Loads a little-endian `u64` via the backdoor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the word is not mapped.
+    pub fn raw_load_u64(&self, addr: VirtAddr) -> Result<u64, MemoryError> {
+        self.mem.load_u64(addr)
+    }
+
+    /// Stores a little-endian `u64` via the backdoor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the word is not mapped.
+    pub fn raw_store_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemoryError> {
+        self.mem.store_u64(addr, value)
+    }
+
+    /// Fills a range via the backdoor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the range is not mapped.
+    pub fn raw_fill(&mut self, addr: VirtAddr, len: u64, byte: u8) -> Result<(), MemoryError> {
+        self.mem.fill(addr, len, byte)
+    }
+
+    // ----- application accesses ----------------------------------------------
+
+    /// Performs an application load of `len` bytes at `addr` by `tid`.
+    ///
+    /// Charges application time, checks hardware watchpoints, and — on a
+    /// fault — enqueues a SIGSEGV-style signal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the access faults (the
+    /// corresponding signal is queued as well).
+    pub fn app_read(&mut self, tid: ThreadId, addr: VirtAddr, len: u64) -> Result<(), MemoryError> {
+        self.app_access(tid, addr, len, AccessKind::Read)
+    }
+
+    /// Performs an application store of `len` bytes at `addr` by `tid`.
+    ///
+    /// The stored *value* is not modelled, but the bytes are overwritten
+    /// with a recognizable garbage pattern so canary evidence can observe
+    /// over-writes; tools that need exact contents use the `raw_*` path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the access faults.
+    pub fn app_write(&mut self, tid: ThreadId, addr: VirtAddr, len: u64) -> Result<(), MemoryError> {
+        self.app_access(tid, addr, len, AccessKind::Write)
+    }
+
+    /// Performs an application access of the given kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the access faults.
+    pub fn app_access(
+        &mut self,
+        tid: ThreadId,
+        addr: VirtAddr,
+        len: u64,
+        kind: AccessKind,
+    ) -> Result<(), MemoryError> {
+        self.charge(CostDomain::App, self.cost.mem_access);
+        self.counter.count_access();
+        self.pmu_observe_n(tid, addr, len, kind, 1);
+        self.record(LogEvent::Access {
+            thread: tid,
+            addr,
+            len,
+            kind,
+            count: 1,
+        });
+        let site = self.site_of(tid);
+        if !self.mem.is_mapped(addr, len) {
+            self.record(LogEvent::SignalRaised {
+                signal: Signal::Segv,
+                thread: tid,
+            });
+            self.pending.push_back(SignalInfo {
+                signal: Signal::Segv,
+                thread: tid,
+                fd: None,
+                fault_addr: addr,
+                access: kind,
+                site,
+            });
+            return Err(MemoryError::Unmapped { addr, len });
+        }
+        if kind == AccessKind::Write {
+            // Stores really mutate memory (with a recognizable garbage
+            // pattern) so canary-based evidence detection can observe
+            // over-writes after the fact.
+            self.mem
+                .fill(addr, len, 0xA5)
+                .expect("mapped range checked above");
+        }
+        let range = AddrRange::new(addr, len);
+        for hit in self.perf.check_access(tid, range, kind) {
+            self.traps_fired += 1;
+            self.record(LogEvent::SignalRaised {
+                signal: hit.sig,
+                thread: hit.owner,
+            });
+            self.pending.push_back(SignalInfo {
+                signal: hit.sig,
+                // F_SETOWN directed the signal at `hit.owner`; CSOD sets the
+                // owner to the thread the event is pinned to, which is the
+                // accessing thread here.
+                thread: hit.owner,
+                fd: Some(hit.fd),
+                fault_addr: hit.watched.start(),
+                access: kind,
+                site,
+            });
+        }
+        Ok(())
+    }
+
+    /// Performs `count` in-bounds application accesses of `len` bytes at
+    /// `addr` as one bulk operation: the full application cost is
+    /// charged, one representative access actually executes (so
+    /// watchpoint and fault semantics still hold for the touched word).
+    ///
+    /// Workload models use this for access-dense phases where emitting
+    /// one event per access would dominate simulation time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryError::Unmapped`] when the representative access
+    /// faults.
+    pub fn app_access_bulk(
+        &mut self,
+        tid: ThreadId,
+        addr: VirtAddr,
+        len: u64,
+        kind: AccessKind,
+        count: u64,
+    ) -> Result<(), MemoryError> {
+        if count == 0 {
+            return Ok(());
+        }
+        self.charge(CostDomain::App, self.cost.mem_access * (count - 1));
+        self.counter.add_accesses(count - 1);
+        self.pmu_observe_n(tid, addr, len, kind, count - 1);
+        if count > 1 {
+            self.record(LogEvent::Access {
+                thread: tid,
+                addr,
+                len,
+                kind,
+                count: count - 1,
+            });
+        }
+        self.app_access(tid, addr, len, kind)
+    }
+
+    /// Enables the flight recorder, keeping the last `capacity` events.
+    pub fn recorder_enable(&mut self, capacity: usize) {
+        self.recorder = Some(FlightRecorder::new(capacity));
+    }
+
+    /// Disables the flight recorder, returning it for inspection.
+    pub fn recorder_take(&mut self) -> Option<FlightRecorder> {
+        self.recorder.take()
+    }
+
+    /// Read access to the flight recorder, if enabled.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.recorder.as_ref()
+    }
+
+    fn record(&mut self, event: LogEvent) {
+        if let Some(recorder) = &mut self.recorder {
+            recorder.record(self.clock.now(), event);
+        }
+    }
+
+    /// Enables PMU access sampling: every `period`-th application access
+    /// produces a [`PmuSample`] (and costs
+    /// [`CostModel::pmu_sample`] of tool time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn pmu_enable(&mut self, period: u64) {
+        self.pmu_enable_with_phase(period, 0);
+    }
+
+    /// Like [`Machine::pmu_enable`], but with an initial phase offset —
+    /// real PMUs randomize the first sampling point to avoid aliasing
+    /// with periodic program behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn pmu_enable_with_phase(&mut self, period: u64, phase: u64) {
+        assert!(period > 0, "PMU sampling period must be positive");
+        self.pmu_period = Some(period);
+        // Phase 0 = the full period before the first sample; larger
+        // phases pull the first sampling point earlier.
+        self.pmu_countdown = period - (phase % period);
+    }
+
+    /// Disables PMU access sampling.
+    pub fn pmu_disable(&mut self) {
+        self.pmu_period = None;
+        self.pmu_samples.clear();
+    }
+
+    /// Drains the collected PMU samples.
+    pub fn take_pmu_samples(&mut self) -> Vec<PmuSample> {
+        self.pmu_samples.drain(..).collect()
+    }
+
+    /// Counts `n` accesses to the same effective address against the
+    /// sampling period; when one or more sampling points fall inside the
+    /// batch, the per-sample cost is charged for each and one
+    /// representative sample is queued.
+    fn pmu_observe_n(
+        &mut self,
+        tid: ThreadId,
+        addr: VirtAddr,
+        len: u64,
+        kind: AccessKind,
+        n: u64,
+    ) {
+        let Some(period) = self.pmu_period else { return };
+        if n == 0 {
+            return;
+        }
+        if n < self.pmu_countdown {
+            self.pmu_countdown -= n;
+            return;
+        }
+        let after_first = n - self.pmu_countdown;
+        let k = 1 + after_first / period;
+        self.pmu_countdown = period - (after_first % period);
+        self.charge(CostDomain::Tool, self.cost.pmu_sample * k);
+        let site = self.site_of(tid);
+        self.pmu_samples.push_back(PmuSample {
+            thread: tid,
+            addr,
+            len,
+            kind,
+            site,
+        });
+    }
+
+    /// Charges `ops` units of non-memory application work.
+    pub fn app_compute(&mut self, ops: u64) {
+        self.charge(CostDomain::App, self.cost.app_compute * ops);
+    }
+
+    /// Declares the statement `tid` is currently executing; carried into
+    /// any signal raised by that thread's accesses.
+    pub fn set_current_site(&mut self, tid: ThreadId, site: SiteToken) {
+        self.current_site.insert(tid, site);
+    }
+
+    fn site_of(&self, tid: ThreadId) -> SiteToken {
+        self.current_site
+            .get(&tid)
+            .copied()
+            .unwrap_or(SiteToken::UNKNOWN)
+    }
+
+    // ----- threads -------------------------------------------------------------
+
+    /// Spawns a new thread and returns its id.
+    pub fn spawn_thread(&mut self) -> ThreadId {
+        let tid = self.threads.spawn();
+        self.record(LogEvent::ThreadSpawn { thread: tid });
+        tid
+    }
+
+    /// Exits `tid`, closing any perf events pinned to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThreadError`] for the main thread or unknown threads.
+    pub fn exit_thread(&mut self, tid: ThreadId) -> Result<(), ThreadError> {
+        self.threads.exit(tid)?;
+        self.perf.on_thread_exit(tid);
+        self.current_site.remove(&tid);
+        self.record(LogEvent::ThreadExit { thread: tid });
+        Ok(())
+    }
+
+    /// The thread registry (alive list, peak count).
+    pub fn threads(&self) -> &ThreadRegistry {
+        &self.threads
+    }
+
+    // ----- syscalls (tool domain) ----------------------------------------------
+
+    /// `perf_event_open`: opens a breakpoint event on `tid`.
+    ///
+    /// # Errors
+    ///
+    /// [`PerfError::NoSuchThread`] if `tid` is not alive, plus any error
+    /// from [`PerfSubsystem::open`] (notably `EBUSY` when the thread's
+    /// four debug registers are taken).
+    pub fn sys_perf_event_open(
+        &mut self,
+        attr: PerfEventAttr,
+        tid: ThreadId,
+    ) -> Result<Fd, PerfError> {
+        self.record(LogEvent::Syscall {
+            name: "perf_event_open",
+        });
+        self.syscall_cost(self.cost.perf_event_open);
+        if !self.threads.is_alive(tid) {
+            return Err(PerfError::NoSuchThread(tid));
+        }
+        self.perf.open(attr, tid)
+    }
+
+    /// `fcntl` on a perf descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::BadFd`] for closed descriptors.
+    pub fn sys_fcntl(&mut self, fd: Fd, cmd: FcntlCmd) -> Result<i64, PerfError> {
+        self.record(LogEvent::Syscall { name: "fcntl" });
+        self.syscall_cost(self.cost.syscall);
+        self.perf.fcntl(fd, cmd)
+    }
+
+    /// `ioctl` on a perf descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::BadFd`] for closed descriptors.
+    pub fn sys_ioctl(&mut self, fd: Fd, cmd: IoctlCmd) -> Result<(), PerfError> {
+        self.record(LogEvent::Syscall { name: "ioctl" });
+        self.syscall_cost(self.cost.syscall);
+        self.perf.ioctl(fd, cmd)
+    }
+
+    /// `close` on a perf descriptor, freeing its debug register.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::BadFd`] for closed descriptors.
+    pub fn sys_close(&mut self, fd: Fd) -> Result<(), PerfError> {
+        self.record(LogEvent::Syscall { name: "close" });
+        self.syscall_cost(self.cost.syscall);
+        self.perf.close(fd)
+    }
+
+    /// Installs a watchpoint via the traditional `ptrace` route: a
+    /// helper process attaches to `tid`, pokes a debug register with
+    /// `PTRACE_POKEUSER`, and detaches. The trap semantics are the same
+    /// as the perf-event route; what differs is the cost — the
+    /// inter-process round trips the paper cites as the reason to prefer
+    /// `perf_event_open` (Section II-A).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Machine::sys_perf_event_open`].
+    pub fn sys_ptrace_watch(
+        &mut self,
+        attr: PerfEventAttr,
+        tid: ThreadId,
+    ) -> Result<Fd, PerfError> {
+        self.record(LogEvent::Syscall { name: "ptrace" });
+        self.syscall_cost(self.cost.ptrace_attach);
+        if !self.threads.is_alive(tid) {
+            // The attach already cost us; the errno comes back anyway.
+            return Err(PerfError::NoSuchThread(tid));
+        }
+        self.syscall_cost(self.cost.ptrace_poke);
+        let fd = self.perf.open(attr, tid)?;
+        // Arm it exactly like the perf route so traps behave identically.
+        self.perf
+            .fcntl(fd, FcntlCmd::SetFlAsync)
+            .expect("fd just opened");
+        self.perf
+            .fcntl(fd, FcntlCmd::SetSig(Signal::Trap))
+            .expect("fd just opened");
+        self.perf
+            .fcntl(fd, FcntlCmd::SetOwn(tid))
+            .expect("fd just opened");
+        self.perf
+            .ioctl(fd, IoctlCmd::Enable)
+            .expect("fd just opened");
+        self.syscall_cost(self.cost.ptrace_detach);
+        Ok(fd)
+    }
+
+    /// Removes a `ptrace`-installed watchpoint: attach, clear the debug
+    /// register, detach.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PerfError::BadFd`] for descriptors that are not open.
+    pub fn sys_ptrace_unwatch(&mut self, fd: Fd) -> Result<(), PerfError> {
+        self.record(LogEvent::Syscall { name: "ptrace" });
+        self.syscall_cost(self.cost.ptrace_attach);
+        self.syscall_cost(self.cost.ptrace_poke);
+        let result = self.perf.close(fd);
+        self.syscall_cost(self.cost.ptrace_detach);
+        result
+    }
+
+    /// The hypothetical combined syscall of Section V-B: installs one
+    /// fully-configured watchpoint on *every* alive thread in a single
+    /// kernel entry, returning the per-thread descriptors.
+    ///
+    /// # Errors
+    ///
+    /// Fails atomically with `EBUSY` if any thread lacks a free debug
+    /// register (already-claimed registers are released again).
+    pub fn sys_watch_all_threads(
+        &mut self,
+        attr: PerfEventAttr,
+    ) -> Result<Vec<(ThreadId, Fd)>, PerfError> {
+        self.record(LogEvent::Syscall {
+            name: "watch_all_threads",
+        });
+        let threads: Vec<ThreadId> = self.threads.alive().collect();
+        self.syscall_cost(
+            self.cost.combined_watch
+                + self.cost.combined_watch_per_thread * threads.len() as u64,
+        );
+        let mut fds = Vec::with_capacity(threads.len());
+        for tid in &threads {
+            match self.perf.open(attr, *tid) {
+                Ok(fd) => {
+                    self.perf
+                        .fcntl(fd, FcntlCmd::SetFlAsync)
+                        .expect("fd just opened");
+                    self.perf
+                        .fcntl(fd, FcntlCmd::SetSig(Signal::Trap))
+                        .expect("fd just opened");
+                    self.perf
+                        .fcntl(fd, FcntlCmd::SetOwn(*tid))
+                        .expect("fd just opened");
+                    self.perf
+                        .ioctl(fd, IoctlCmd::Enable)
+                        .expect("fd just opened");
+                    fds.push((*tid, fd));
+                }
+                Err(e) => {
+                    for (_, fd) in fds {
+                        let _ = self.perf.close(fd);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(fds)
+    }
+
+    /// The removal half of the combined syscall: one kernel entry closes
+    /// all given descriptors.
+    pub fn sys_unwatch_all(&mut self, fds: &[Fd]) {
+        self.record(LogEvent::Syscall {
+            name: "unwatch_all_threads",
+        });
+        self.syscall_cost(
+            self.cost.combined_watch
+                + self.cost.combined_watch_per_thread * fds.len() as u64,
+        );
+        for fd in fds {
+            let _ = self.perf.close(*fd);
+        }
+    }
+
+    fn syscall_cost(&mut self, ns: u64) {
+        self.counter.count_syscall();
+        self.charge(CostDomain::Tool, ns);
+    }
+
+    // ----- perf introspection ----------------------------------------------------
+
+    /// Free debug registers on `tid`.
+    pub fn free_registers(&self, tid: ThreadId) -> usize {
+        self.perf.free_registers(tid)
+    }
+
+    /// The watched range of an open descriptor.
+    pub fn watched_range(&self, fd: Fd) -> Option<AddrRange> {
+        self.perf.watched_range(fd)
+    }
+
+    /// Currently open perf events.
+    pub fn open_events(&self) -> usize {
+        self.perf.open_events()
+    }
+
+    /// Total perf events ever opened.
+    pub fn events_opened_total(&self) -> u64 {
+        self.perf.opened_total()
+    }
+
+    // ----- signals ------------------------------------------------------------------
+
+    /// Drains and returns all pending signals in delivery order.
+    pub fn take_signals(&mut self) -> Vec<SignalInfo> {
+        self.pending.drain(..).collect()
+    }
+
+    /// Whether any signal is waiting for delivery.
+    pub fn has_pending_signals(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Raises a signal programmatically (e.g. the program calls `abort`).
+    pub fn raise(&mut self, info: SignalInfo) {
+        self.pending.push_back(info);
+    }
+
+    /// Total watchpoint traps fired since boot.
+    pub fn traps_fired(&self) -> u64 {
+        self.traps_fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configured_watch(m: &mut Machine, addr: VirtAddr, tid: ThreadId) -> Fd {
+        let fd = m.sys_perf_event_open(PerfEventAttr::rw_word(addr), tid).unwrap();
+        m.sys_fcntl(fd, FcntlCmd::SetFlAsync).unwrap();
+        m.sys_fcntl(fd, FcntlCmd::SetSig(Signal::Trap)).unwrap();
+        m.sys_fcntl(fd, FcntlCmd::SetOwn(tid)).unwrap();
+        m.sys_ioctl(fd, IoctlCmd::Enable).unwrap();
+        fd
+    }
+
+    fn machine_with_heap() -> (Machine, VirtAddr) {
+        let mut m = Machine::new();
+        let base = VirtAddr::new(0x10_0000);
+        m.map_region(base, 1 << 16, "heap").unwrap();
+        (m, base)
+    }
+
+    #[test]
+    fn app_access_inside_object_is_silent() {
+        let (mut m, base) = machine_with_heap();
+        configured_watch(&mut m, base + 64, ThreadId::MAIN);
+        m.app_write(ThreadId::MAIN, base, 64).unwrap();
+        m.app_read(ThreadId::MAIN, base + 56, 8).unwrap();
+        assert!(!m.has_pending_signals());
+        assert_eq!(m.traps_fired(), 0);
+    }
+
+    #[test]
+    fn overflow_fires_trap_with_site() {
+        let (mut m, base) = machine_with_heap();
+        let fd = configured_watch(&mut m, base + 64, ThreadId::MAIN);
+        m.set_current_site(ThreadId::MAIN, SiteToken(42));
+        m.app_read(ThreadId::MAIN, base + 64, 4).unwrap();
+        let sigs = m.take_signals();
+        assert_eq!(sigs.len(), 1);
+        let s = sigs[0];
+        assert_eq!(s.signal, Signal::Trap);
+        assert_eq!(s.fd, Some(fd));
+        assert_eq!(s.thread, ThreadId::MAIN);
+        assert_eq!(s.site, SiteToken(42));
+        assert_eq!(s.fault_addr, base + 64);
+        assert_eq!(s.access, AccessKind::Read);
+        assert_eq!(m.traps_fired(), 1);
+        assert!(!m.has_pending_signals(), "take_signals drains the queue");
+    }
+
+    #[test]
+    fn unmapped_access_raises_segv() {
+        let (mut m, base) = machine_with_heap();
+        let far = base + (1 << 20);
+        assert!(m.app_write(ThreadId::MAIN, far, 8).is_err());
+        let sigs = m.take_signals();
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].signal, Signal::Segv);
+        assert_eq!(sigs[0].fault_addr, far);
+    }
+
+    #[test]
+    fn watch_on_other_thread_does_not_fire() {
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        configured_watch(&mut m, base + 64, ThreadId::MAIN);
+        // Worker touches the watched word, but only MAIN has the event.
+        m.app_write(worker, base + 64, 8).unwrap();
+        assert!(!m.has_pending_signals());
+        // Installing on the worker too (as CSOD does for all threads) fires.
+        configured_watch(&mut m, base + 64, worker);
+        m.app_write(worker, base + 64, 8).unwrap();
+        let sigs = m.take_signals();
+        assert_eq!(sigs.len(), 1);
+        assert_eq!(sigs[0].thread, worker);
+    }
+
+    #[test]
+    fn raw_backdoor_is_invisible() {
+        let (mut m, base) = machine_with_heap();
+        configured_watch(&mut m, base + 64, ThreadId::MAIN);
+        let before = m.counter().clone();
+        m.raw_store_u64(base + 64, 0xCAFE).unwrap();
+        assert_eq!(m.raw_load_u64(base + 64).unwrap(), 0xCAFE);
+        assert!(!m.has_pending_signals());
+        assert_eq!(m.counter(), &before, "backdoor charges nothing");
+    }
+
+    #[test]
+    fn accounting_buckets() {
+        let (mut m, base) = machine_with_heap();
+        let t0 = m.now();
+        m.app_write(ThreadId::MAIN, base, 8).unwrap();
+        m.app_compute(10);
+        m.wait_io(VirtDuration::from_millis(1));
+        let c = m.counter();
+        assert_eq!(c.accesses(), 1);
+        assert_eq!(c.app_ns(), m.costs().mem_access + 10 * m.costs().app_compute);
+        assert_eq!(c.io_ns(), 1_000_000);
+        assert_eq!((m.now() - t0).as_nanos(), c.total_ns());
+    }
+
+    #[test]
+    fn syscalls_charge_tool_time() {
+        let (mut m, base) = machine_with_heap();
+        configured_watch(&mut m, base + 64, ThreadId::MAIN);
+        let c = m.counter();
+        assert_eq!(c.syscalls(), 5, "open + 3 fcntl + ioctl");
+        let expected = m.costs().perf_event_open + 4 * m.costs().syscall;
+        assert_eq!(c.tool_ns(), expected);
+        assert!(c.normalized_overhead() > 1.0 || c.baseline_ns() == 0);
+    }
+
+    #[test]
+    fn open_on_dead_thread_is_esrch() {
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        m.exit_thread(worker).unwrap();
+        assert_eq!(
+            m.sys_perf_event_open(PerfEventAttr::rw_word(base), worker),
+            Err(PerfError::NoSuchThread(worker))
+        );
+    }
+
+    #[test]
+    fn thread_exit_releases_registers() {
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        for i in 0..4 {
+            configured_watch(&mut m, base + 64 + i * 8, worker);
+        }
+        assert_eq!(m.free_registers(worker), 0);
+        m.exit_thread(worker).unwrap();
+        let again = m.spawn_thread();
+        assert_eq!(m.free_registers(again), 4);
+    }
+
+    #[test]
+    fn multiple_watchpoints_can_fire_in_one_access() {
+        let (mut m, base) = machine_with_heap();
+        // Two adjacent watched words; a 16-byte access covers both.
+        configured_watch(&mut m, base + 64, ThreadId::MAIN);
+        configured_watch(&mut m, base + 72, ThreadId::MAIN);
+        m.app_read(ThreadId::MAIN, base + 60, 20).unwrap();
+        assert_eq!(m.take_signals().len(), 2);
+    }
+
+    #[test]
+    fn ptrace_watch_behaves_like_perf_but_costs_more() {
+        let (mut m, base) = machine_with_heap();
+        let fd = m.sys_ptrace_watch(PerfEventAttr::rw_word(base + 64), ThreadId::MAIN).unwrap();
+        let ptrace_cost = m.counter().tool_ns();
+        m.app_write(ThreadId::MAIN, base + 64, 8).unwrap();
+        let sigs = m.take_signals();
+        assert_eq!(sigs.len(), 1, "ptrace-installed watchpoints trap too");
+        assert_eq!(sigs[0].fd, Some(fd));
+        m.sys_ptrace_unwatch(fd).unwrap();
+        assert_eq!(m.open_events(), 0);
+
+        // The perf route is much cheaper for the same effect.
+        let mut m2 = Machine::new();
+        m2.map_region(base, 1 << 16, "heap").unwrap();
+        configured_watch(&mut m2, base + 64, ThreadId::MAIN);
+        assert!(
+            ptrace_cost > 3 * m2.counter().tool_ns(),
+            "ptrace {} vs perf {}",
+            ptrace_cost,
+            m2.counter().tool_ns()
+        );
+    }
+
+    #[test]
+    fn ptrace_watch_on_dead_thread_fails_after_attach() {
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        m.exit_thread(worker).unwrap();
+        assert_eq!(
+            m.sys_ptrace_watch(PerfEventAttr::rw_word(base), worker),
+            Err(PerfError::NoSuchThread(worker))
+        );
+    }
+
+    #[test]
+    fn combined_syscall_covers_all_threads_in_one_entry() {
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        let fds = m.sys_watch_all_threads(PerfEventAttr::rw_word(base + 64)).unwrap();
+        assert_eq!(fds.len(), 2);
+        assert_eq!(m.counter().syscalls(), 1, "one kernel entry");
+        m.app_write(worker, base + 64, 8).unwrap();
+        assert_eq!(m.take_signals().len(), 1);
+        let raw: Vec<Fd> = fds.iter().map(|&(_, fd)| fd).collect();
+        m.sys_unwatch_all(&raw);
+        assert_eq!(m.open_events(), 0);
+        assert_eq!(m.counter().syscalls(), 2);
+    }
+
+    #[test]
+    fn combined_syscall_is_atomic_on_register_exhaustion() {
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        // Exhaust the worker's registers only.
+        for i in 0..4 {
+            configured_watch(&mut m, base + 128 + i * 8, worker);
+        }
+        let err = m.sys_watch_all_threads(PerfEventAttr::rw_word(base + 64));
+        assert_eq!(err, Err(PerfError::NoFreeRegister(worker)));
+        // MAIN's register claimed during the attempt was rolled back.
+        assert_eq!(m.free_registers(ThreadId::MAIN), 4);
+    }
+
+    #[test]
+    fn pmu_samples_every_nth_access() {
+        let (mut m, base) = machine_with_heap();
+        m.pmu_enable(4);
+        for i in 0..12 {
+            m.app_read(ThreadId::MAIN, base + i * 8, 8).unwrap();
+        }
+        let samples = m.take_pmu_samples();
+        assert_eq!(samples.len(), 3, "every 4th of 12 accesses");
+        // The 4th access touched base + 3*8.
+        assert_eq!(samples[0].addr, base + 24);
+        assert!(m.take_pmu_samples().is_empty(), "drained");
+        m.pmu_disable();
+        m.app_read(ThreadId::MAIN, base, 8).unwrap();
+        assert!(m.take_pmu_samples().is_empty());
+    }
+
+    #[test]
+    fn pmu_bulk_accesses_charge_per_sample() {
+        let (mut m, base) = machine_with_heap();
+        m.pmu_enable(100);
+        let tool_before = m.counter().tool_ns();
+        m.app_access_bulk(ThreadId::MAIN, base, 8, AccessKind::Read, 1_000)
+            .unwrap();
+        let samples = m.take_pmu_samples();
+        // 1000 accesses at period 100 -> 10 sampling points, one queued
+        // representative (same address), full cost for all ten.
+        assert!(!samples.is_empty());
+        assert_eq!(
+            m.counter().tool_ns() - tool_before,
+            10 * m.costs().pmu_sample
+        );
+        // The countdown continues correctly across calls.
+        for _ in 0..99 {
+            m.app_read(ThreadId::MAIN, base, 8).unwrap();
+        }
+        assert!(m.take_pmu_samples().is_empty(), "99 more: not yet");
+        m.app_read(ThreadId::MAIN, base, 8).unwrap();
+        assert_eq!(m.take_pmu_samples().len(), 1, "the 100th fires");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn pmu_zero_period_rejected() {
+        Machine::new().pmu_enable(0);
+    }
+
+    #[test]
+    fn flight_recorder_captures_the_story() {
+        let (mut m, base) = machine_with_heap();
+        m.recorder_enable(64);
+        let worker = m.spawn_thread();
+        configured_watch(&mut m, base + 64, ThreadId::MAIN);
+        m.app_write(ThreadId::MAIN, base + 64, 8).unwrap();
+        m.app_access_bulk(worker, base, 8, AccessKind::Read, 100).unwrap();
+        m.exit_thread(worker).unwrap();
+        let recorder = m.recorder_take().expect("enabled");
+        let dump = recorder.dump();
+        assert!(dump.contains("spawn tid1"));
+        assert!(dump.contains("perf_event_open"));
+        assert!(dump.contains("SIGTRAP -> tid0"));
+        assert!(dump.contains("x99"), "bulk access recorded with count");
+        assert!(dump.contains("exit tid1"));
+        assert!(m.recorder().is_none(), "taking disables");
+    }
+
+    #[test]
+    fn resident_bytes_track_touched_pages() {
+        let mut m = Machine::new();
+        m.map_region(VirtAddr::new(0x10_0000), 256 << 20, "heap").unwrap();
+        assert_eq!(m.mapped_bytes(), 256 << 20);
+        assert_eq!(m.resident_bytes(), 0, "mapping alone touches nothing");
+        m.raw_store_u64(VirtAddr::new(0x10_0000), 1).unwrap();
+        assert!(m.resident_bytes() > 0);
+        assert!(m.resident_bytes() < 1 << 20, "one chunk, not the region");
+    }
+
+    #[test]
+    fn skip_time_moves_clock_without_charges() {
+        let mut m = Machine::new();
+        m.skip_time(VirtDuration::from_secs(11));
+        assert_eq!(m.now().as_nanos(), 11_000_000_000);
+        assert_eq!(m.counter().total_ns(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! The flight recorder: a bounded ring buffer of recent machine events.
+//!
+//! Debugging a detection tool on a simulated machine needs the same
+//! thing debugging one on a real machine needs: the last few thousand
+//! events before the interesting moment. The recorder is off by default
+//! (zero cost); when enabled it captures accesses, syscalls, signals and
+//! thread events with their virtual timestamps.
+
+use crate::addr::{AccessKind, VirtAddr};
+use crate::clock::VirtInstant;
+use crate::signal::Signal;
+use crate::thread::ThreadId;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One recorded machine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogEvent {
+    /// An application memory access (bulk accesses record once with
+    /// their count).
+    Access {
+        /// Accessing thread.
+        thread: ThreadId,
+        /// Effective address.
+        addr: VirtAddr,
+        /// Access length in bytes.
+        len: u64,
+        /// Load or store.
+        kind: AccessKind,
+        /// Number of accesses this entry stands for.
+        count: u64,
+    },
+    /// A system call entered (by name).
+    Syscall {
+        /// Static name, e.g. `"perf_event_open"`.
+        name: &'static str,
+    },
+    /// A signal was queued for delivery.
+    SignalRaised {
+        /// The signal.
+        signal: Signal,
+        /// The destination thread.
+        thread: ThreadId,
+    },
+    /// A thread was spawned.
+    ThreadSpawn {
+        /// The new thread.
+        thread: ThreadId,
+    },
+    /// A thread exited.
+    ThreadExit {
+        /// The exiting thread.
+        thread: ThreadId,
+    },
+}
+
+impl fmt::Display for LogEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogEvent::Access {
+                thread,
+                addr,
+                len,
+                kind,
+                count,
+            } => {
+                write!(f, "{thread} {kind} {addr}+{len}")?;
+                if *count > 1 {
+                    write!(f, " x{count}")?;
+                }
+                Ok(())
+            }
+            LogEvent::Syscall { name } => write!(f, "syscall {name}"),
+            LogEvent::SignalRaised { signal, thread } => {
+                write!(f, "{signal} -> {thread}")
+            }
+            LogEvent::ThreadSpawn { thread } => write!(f, "spawn {thread}"),
+            LogEvent::ThreadExit { thread } => write!(f, "exit {thread}"),
+        }
+    }
+}
+
+/// A bounded ring buffer of timestamped [`LogEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    events: VecDeque<(VirtInstant, LogEvent)>,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "recorder capacity must be positive");
+        FlightRecorder {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn record(&mut self, at: VirtInstant, event: LogEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((at, event));
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(VirtInstant, LogEvent)> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events one per line — the post-mortem dump.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} earlier event(s) dropped ...\n", self.dropped));
+        }
+        for (at, event) in &self.events {
+            out.push_str(&format!("{at}  {event}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(n: u64) -> LogEvent {
+        LogEvent::Access {
+            thread: ThreadId::MAIN,
+            addr: VirtAddr::new(0x1000 + n),
+            len: 8,
+            kind: AccessKind::Read,
+            count: 1,
+        }
+    }
+
+    #[test]
+    fn keeps_only_the_last_capacity_events() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(VirtInstant::BOOT, access(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let first = r.events().next().unwrap();
+        assert_eq!(first.1, access(2));
+    }
+
+    #[test]
+    fn dump_mentions_drops_and_events() {
+        let mut r = FlightRecorder::new(2);
+        for i in 0..3 {
+            r.record(VirtInstant::BOOT, access(i));
+        }
+        let dump = r.dump();
+        assert!(dump.contains("1 earlier event(s) dropped"));
+        assert!(dump.contains("read"));
+    }
+
+    #[test]
+    fn event_display_variants() {
+        assert_eq!(
+            LogEvent::Syscall { name: "ioctl" }.to_string(),
+            "syscall ioctl"
+        );
+        assert!(LogEvent::SignalRaised {
+            signal: Signal::Trap,
+            thread: ThreadId::MAIN
+        }
+        .to_string()
+        .contains("SIGTRAP"));
+        let bulk = LogEvent::Access {
+            thread: ThreadId::MAIN,
+            addr: VirtAddr::new(0x10),
+            len: 8,
+            kind: AccessKind::Write,
+            count: 64,
+        };
+        assert!(bulk.to_string().contains("x64"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        FlightRecorder::new(0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Signals and trap information.
+//!
+//! When a simulated thread touches a watched address, the machine raises a
+//! SIGTRAP-style signal carrying the triggering file descriptor — the same
+//! information the Linux kernel passes in `siginfo_t` when a
+//! `perf_event_open` breakpoint fires with `F_SETSIG`. CSOD's signal
+//! handler uses the descriptor to identify *which* watchpoint fired
+//! (paper Section III-D1).
+//!
+//! Delivery is via a machine-level queue drained by the embedding runtime
+//! after each operation, which mirrors the asynchronous (`O_ASYNC`)
+//! notification configured in the paper's Figure 3.
+
+use crate::addr::{AccessKind, VirtAddr};
+use crate::perf::Fd;
+use crate::thread::ThreadId;
+use std::fmt;
+
+/// The signals the simulated machine can raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Signal {
+    /// Hardware watchpoint fired (`SIGTRAP`).
+    Trap,
+    /// Access to unmapped memory (`SIGSEGV`).
+    Segv,
+    /// Abnormal termination requested by the program (`SIGABRT`).
+    Abort,
+}
+
+impl fmt::Display for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Signal::Trap => f.write_str("SIGTRAP"),
+            Signal::Segv => f.write_str("SIGSEGV"),
+            Signal::Abort => f.write_str("SIGABRT"),
+        }
+    }
+}
+
+/// Opaque identifier of the program statement performing an access.
+///
+/// On a real machine the SIGTRAP handler reconstructs the faulting
+/// statement by walking the interrupted thread's stack with `backtrace`.
+/// The simulator instead lets the workload declare "the thread is now
+/// executing statement X" via
+/// [`Machine::set_current_site`](crate::Machine::set_current_site); the
+/// token is carried through the trap so the tool can resolve it back to a
+/// full calling context, exactly as the real handler would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SiteToken(pub u64);
+
+impl SiteToken {
+    /// A token meaning "site unknown" (no statement declared).
+    pub const UNKNOWN: SiteToken = SiteToken(u64::MAX);
+}
+
+impl fmt::Display for SiteToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SiteToken::UNKNOWN {
+            f.write_str("site?")
+        } else {
+            write!(f, "site{}", self.0)
+        }
+    }
+}
+
+/// Everything a signal handler learns about one delivered signal —
+/// the simulator's `siginfo_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalInfo {
+    /// Which signal was raised.
+    pub signal: Signal,
+    /// The thread the signal was delivered to. For watchpoint traps this
+    /// is the thread that performed the access (`F_SETOWN` per thread).
+    pub thread: ThreadId,
+    /// For traps: the perf-event descriptor that fired.
+    pub fd: Option<Fd>,
+    /// The faulting/watched address.
+    pub fault_addr: VirtAddr,
+    /// Whether the access was a read or a write.
+    pub access: AccessKind,
+    /// The statement the thread was executing (see [`SiteToken`]).
+    pub site: SiteToken,
+}
+
+impl fmt::Display for SignalInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} on {} at {} ({} by {})",
+            self.signal, self.thread, self.fault_addr, self.access, self.site
+        )?;
+        if let Some(fd) = self.fd {
+            write!(f, " [{fd}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_key_fields() {
+        let info = SignalInfo {
+            signal: Signal::Trap,
+            thread: ThreadId::MAIN,
+            fd: Some(Fd::from_raw(9)),
+            fault_addr: VirtAddr::new(0xf00),
+            access: AccessKind::Write,
+            site: SiteToken(3),
+        };
+        let text = info.to_string();
+        assert!(text.contains("SIGTRAP"));
+        assert!(text.contains("0xf00"));
+        assert!(text.contains("site3"));
+        assert!(text.contains("fd9"));
+    }
+
+    #[test]
+    fn unknown_site_token() {
+        assert_eq!(SiteToken::UNKNOWN.to_string(), "site?");
+        assert_ne!(SiteToken(0), SiteToken::UNKNOWN);
+    }
+
+    #[test]
+    fn signal_names() {
+        assert_eq!(Signal::Trap.to_string(), "SIGTRAP");
+        assert_eq!(Signal::Segv.to_string(), "SIGSEGV");
+        assert_eq!(Signal::Abort.to_string(), "SIGABRT");
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests of the machine substrate.
+
+use proptest::prelude::*;
+use sim_machine::{
+    AccessKind, AddrRange, AddressSpace, Machine, PerfEventAttr, PerfSubsystem, ThreadId,
+    VirtAddr, NUM_WATCHPOINT_REGISTERS,
+};
+
+proptest! {
+    /// The address space behaves like a byte map over its mapped region.
+    #[test]
+    fn address_space_matches_byte_model(
+        writes in proptest::collection::vec((0u64..4000, any::<u8>(), 1u64..64), 1..60),
+    ) {
+        let mut mem = AddressSpace::new();
+        let base = VirtAddr::new(0x10_0000);
+        mem.map_region(base, 4096, "heap").unwrap();
+        let mut model = vec![0u8; 4096];
+        for (off, byte, len) in writes {
+            let len = len.min(4096 - off);
+            if len == 0 { continue; }
+            let data = vec![byte; len as usize];
+            mem.write_bytes(base + off, &data).unwrap();
+            model[off as usize..(off + len) as usize].fill(byte);
+        }
+        let mut out = vec![0u8; 4096];
+        mem.read_bytes(base, &mut out).unwrap();
+        prop_assert_eq!(out, model);
+    }
+
+    /// Any access fully outside mapped regions errors; any inside works.
+    #[test]
+    fn mapped_accesses_succeed_unmapped_fail(off in 0u64..10_000, len in 1u64..128) {
+        let mut mem = AddressSpace::new();
+        let base = VirtAddr::new(0x10_0000);
+        mem.map_region(base, 4096, "r").unwrap();
+        let inside = off + len <= 4096;
+        let result = mem.write_bytes(base + off, &vec![1u8; len as usize]);
+        prop_assert_eq!(result.is_ok(), inside);
+    }
+
+    /// Under arbitrary open/close interleavings, a thread never holds
+    /// more than four events and every close balances an open.
+    #[test]
+    fn debug_registers_never_exceed_four(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut perf = PerfSubsystem::new();
+        let mut open = Vec::new();
+        let mut addr = 0x1000u64;
+        for do_open in ops {
+            if do_open {
+                addr += 8;
+                match perf.open(PerfEventAttr::rw_word(VirtAddr::new(addr)), ThreadId::MAIN) {
+                    Ok(fd) => open.push(fd),
+                    Err(_) => prop_assert_eq!(open.len(), NUM_WATCHPOINT_REGISTERS),
+                }
+            } else if let Some(fd) = open.pop() {
+                perf.close(fd).unwrap();
+            }
+            prop_assert!(open.len() <= NUM_WATCHPOINT_REGISTERS);
+            prop_assert_eq!(perf.free_registers(ThreadId::MAIN), 4 - open.len());
+            prop_assert_eq!(perf.open_events(), open.len());
+        }
+    }
+
+    /// Watchpoint firing is exactly range-overlap on enabled events of
+    /// the accessing thread.
+    #[test]
+    fn trap_iff_overlap(watch_off in 0u64..512, acc_off in 0u64..512, len in 1u64..16) {
+        let mut m = Machine::new();
+        let base = VirtAddr::new(0x20_0000);
+        m.map_region(base, 4096, "heap").unwrap();
+        let watch = base + watch_off * 8;
+        let fd = m.sys_perf_event_open(PerfEventAttr::rw_word(watch), ThreadId::MAIN).unwrap();
+        m.sys_fcntl(fd, sim_machine::FcntlCmd::SetFlAsync).unwrap();
+        m.sys_fcntl(fd, sim_machine::FcntlCmd::SetSig(sim_machine::Signal::Trap)).unwrap();
+        m.sys_ioctl(fd, sim_machine::IoctlCmd::Enable).unwrap();
+        let acc = base + acc_off;
+        if m.app_access(ThreadId::MAIN, acc, len, AccessKind::Read).is_ok() {
+            let expect = AddrRange::new(watch, 8).overlaps(&AddrRange::new(acc, len));
+            let fired = !m.take_signals().is_empty();
+            prop_assert_eq!(fired, expect);
+        }
+    }
+
+    /// Bulk accesses charge exactly like the same number of singles.
+    #[test]
+    fn bulk_equals_singles_in_cost(count in 1u64..500) {
+        let base = VirtAddr::new(0x30_0000);
+        let mut bulk = Machine::new();
+        bulk.map_region(base, 4096, "h").unwrap();
+        bulk.app_access_bulk(ThreadId::MAIN, base, 8, AccessKind::Write, count).unwrap();
+
+        let mut singles = Machine::new();
+        singles.map_region(base, 4096, "h").unwrap();
+        for _ in 0..count {
+            singles.app_write(ThreadId::MAIN, base, 8).unwrap();
+        }
+        prop_assert_eq!(bulk.counter().app_ns(), singles.counter().app_ns());
+        prop_assert_eq!(bulk.counter().accesses(), singles.counter().accesses());
+    }
+
+    /// PMU sampling density is 1/period over any access pattern mix of
+    /// bulk and single accesses (sample points, not queued entries).
+    #[test]
+    fn pmu_cost_matches_density(period in 1u64..64, batches in proptest::collection::vec(1u64..100, 1..20)) {
+        let base = VirtAddr::new(0x40_0000);
+        let mut m = Machine::new();
+        m.map_region(base, 4096, "h").unwrap();
+        m.pmu_enable(period);
+        let mut total = 0u64;
+        for b in batches {
+            m.app_access_bulk(ThreadId::MAIN, base, 8, AccessKind::Read, b).unwrap();
+            total += b;
+        }
+        let expected_samples = total / period;
+        prop_assert_eq!(
+            m.counter().tool_ns(),
+            expected_samples * m.costs().pmu_sample
+        );
+    }
+}

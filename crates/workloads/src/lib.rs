@@ -1,0 +1,26 @@
+//! # workloads — application models for the CSOD evaluation
+//!
+//! Synthetic-but-parameterised applications that reproduce the paper's
+//! effectiveness workloads (the nine buggy programs of Tables I-III) and
+//! performance workloads (the nineteen programs of Table IV / Figure 7),
+//! plus the [`TraceRunner`] that executes them under the baseline, CSOD,
+//! or the ASan model.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod buggy;
+mod driver;
+mod fuzz;
+mod perf;
+mod scenario;
+mod sites;
+mod trace;
+
+pub use buggy::{BuggyApp, OverflowKind};
+pub use driver::{RunOutcome, ToolSpec, TraceRunner};
+pub use fuzz::{FuzzBug, FuzzWorkload};
+pub use perf::PerfApp;
+pub use scenario::ScenarioBuilder;
+pub use sites::{AccessSite, AllocSite, SiteRegistry};
+pub use trace::{Event, TraceThread};

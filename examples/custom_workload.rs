@@ -1,0 +1,77 @@
+//! Building your own application model and running it under every tool.
+//!
+//! ```bash
+//! cargo run --release --example custom_workload
+//! ```
+//!
+//! The workload layer is not limited to the paper's applications: the
+//! [`ScenarioBuilder`] describes any program as named objects, sites and
+//! accesses. This example models a small image decoder with a classic
+//! off-by-one in its row-copy loop (which lives in an *uninstrumented*
+//! codec library), then runs it under the baseline, CSOD, ASan and
+//! Sampler, comparing what each tool sees.
+
+use csod::asan::AsanConfig;
+use csod::core::CsodConfig;
+use csod::machine::AccessKind;
+use csod::sampler::SamplerConfig;
+use csod::workloads::{ScenarioBuilder, ToolSpec, TraceRunner};
+
+fn main() {
+    let mut b = ScenarioBuilder::new("imgview");
+    b.malloc("header", "imgview/open.c:40", 128);
+    for row in 0..32 {
+        let name = format!("row{row}");
+        b.malloc(&name, "imgview/row_alloc.c:77", 256)
+            // The codec fills the row, the viewer blits it back out.
+            .touch(&name, "libcodec.so", AccessKind::Write, 32)
+            .touch(&name, "imgview", AccessKind::Read, 32)
+            // Per-row decode work (DCT, filtering, ...) keeps tool
+            // overheads in realistic proportion.
+            .compute(1_000_000);
+    }
+    // The bug: the last row's copy loop runs one element too far, then
+    // keeps streaming (16 more words) — all inside libcodec.so.
+    b.overflow("row31", "libcodec.so", AccessKind::Write, 16);
+    for row in 0..32 {
+        b.free(&format!("row{row}"));
+    }
+    let (registry, trace) = b.build();
+
+    let tools: Vec<(&str, ToolSpec)> = vec![
+        ("baseline", ToolSpec::Baseline),
+        ("csod", ToolSpec::Csod(CsodConfig::default())),
+        (
+            "asan (app instrumented only)",
+            ToolSpec::Asan {
+                config: AsanConfig::default(),
+                instrumented: vec!["imgview".into()],
+            },
+        ),
+        (
+            "sampler (period 64)",
+            ToolSpec::Sampler(SamplerConfig {
+                sample_period: 64,
+                ..SamplerConfig::default()
+            }),
+        ),
+    ];
+
+    println!("imgview decoder model: 33 allocations, off-by-one in libcodec.so\n");
+    for (name, spec) in tools {
+        let outcome = TraceRunner::new(&registry, spec).run(trace.iter().copied());
+        println!(
+            "{name:>30}: detected={:<5} overhead={:.3} allocations={}",
+            outcome.detected, outcome.overhead, outcome.allocations
+        );
+        if let Some(report) = outcome.reports.first() {
+            let first_line = report.lines().next().unwrap_or("");
+            println!("{:>30}  `{first_line}`", "");
+        }
+    }
+    println!("\nnotes: ASan misses the bug (it lives in the uninstrumented codec");
+    println!("library); CSOD's detection is probabilistic per run — rerun with");
+    println!("different CsodConfig::seed values to observe the sampling; the");
+    println!("over-write also leaves canary evidence, so CSOD's exit sweep");
+    println!("catches it even when the watchpoint missed.");
+}

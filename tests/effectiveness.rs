@@ -1,0 +1,130 @@
+//! Statistical effectiveness invariants (Table II shape), verified with
+//! reduced execution counts so the suite stays fast.
+
+use csod::core::{CsodConfig, ReplacementPolicy};
+use csod::workloads::{BuggyApp, ToolSpec, TraceRunner};
+
+fn detection_count(app: &BuggyApp, policy: ReplacementPolicy, runs: u64) -> u64 {
+    let registry = app.registry();
+    let trace = app.trace(42);
+    (0..runs)
+        .filter(|&seed| {
+            let mut config = CsodConfig::with_policy(policy);
+            config.seed = seed;
+            TraceRunner::new(&registry, ToolSpec::Csod(config))
+                .run(trace.iter().copied())
+                .watchpoint_detected
+        })
+        .count() as u64
+}
+
+#[test]
+fn naive_detects_all_simple_apps_every_time() {
+    for name in ["gzip", "libdwarf", "libhx", "libtiff", "polymorph"] {
+        let app = BuggyApp::by_name(name).unwrap();
+        assert_eq!(
+            detection_count(&app, ReplacementPolicy::Naive, 30),
+            30,
+            "{name}: naive must always detect (Table II)"
+        );
+    }
+}
+
+#[test]
+fn naive_never_detects_the_complex_apps() {
+    for name in ["heartbleed", "memcached", "mysql", "zziplib"] {
+        let app = BuggyApp::by_name(name).unwrap();
+        assert_eq!(
+            detection_count(&app, ReplacementPolicy::Naive, 30),
+            0,
+            "{name}: naive must never detect (Table II)"
+        );
+    }
+}
+
+#[test]
+fn adaptive_policies_detect_every_app_within_the_paper_band() {
+    // Paper: random/near-FIFO detect between 10% and 100% per execution.
+    let runs = 120;
+    for app in BuggyApp::all() {
+        for policy in [ReplacementPolicy::Random, ReplacementPolicy::NearFifo] {
+            let detections = detection_count(&app, policy, runs);
+            let rate = detections as f64 / runs as f64;
+            assert!(
+                rate >= 0.03,
+                "{} under {policy}: rate {rate:.2} below the band",
+                app.name
+            );
+            // Detection can legitimately be 100% for the tiny apps.
+            assert!(rate <= 1.0);
+        }
+    }
+}
+
+#[test]
+fn tiny_apps_detected_by_every_policy() {
+    for name in ["gzip", "libtiff", "polymorph"] {
+        let app = BuggyApp::by_name(name).unwrap();
+        for policy in ReplacementPolicy::ALL {
+            assert_eq!(
+                detection_count(&app, policy, 20),
+                20,
+                "{name} under {policy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn detection_is_deterministic_per_seed() {
+    let app = BuggyApp::by_name("heartbleed").unwrap();
+    let registry = app.registry();
+    let trace = app.trace(42);
+    for seed in 0..10 {
+        let run = |_| {
+            TraceRunner::new(&registry, ToolSpec::Csod(CsodConfig::with_seed(seed)))
+                .run(trace.iter().copied())
+                .watchpoint_detected
+        };
+        assert_eq!(run(0), run(1), "seed {seed} must be reproducible");
+    }
+}
+
+#[test]
+fn average_detection_rate_is_in_the_paper_range() {
+    // Paper: 58% average across the nine applications (random/near-FIFO).
+    let runs = 60;
+    let apps = BuggyApp::all();
+    let mut total = 0u64;
+    for app in &apps {
+        total += detection_count(&app.clone(), ReplacementPolicy::NearFifo, runs);
+    }
+    let avg = total as f64 / (runs * apps.len() as u64) as f64;
+    assert!(
+        (0.40..=0.80).contains(&avg),
+        "average detection rate {avg:.2} far from the paper's 0.58"
+    );
+}
+
+#[test]
+fn reports_identify_the_injected_bug_site() {
+    let app = BuggyApp::by_name("memcached").unwrap();
+    let registry = app.registry();
+    let trace = app.trace(42);
+    let outcome = (0..100)
+        .map(|seed| {
+            TraceRunner::new(&registry, ToolSpec::Csod(CsodConfig::with_seed(seed)))
+                .run(trace.iter().copied())
+        })
+        .find(|o| o.watchpoint_detected)
+        .expect("some execution detects");
+    let report = outcome
+        .reports
+        .iter()
+        .find(|r| r.contains("detected at"))
+        .expect("a rendered watchpoint report");
+    assert!(
+        report.contains("overflow/copy.c:81"),
+        "report must name the overflowing statement: {report}"
+    );
+}

@@ -1,0 +1,91 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to a cargo registry, so the
+//! workspace vendors the one API it uses: [`scope`] with
+//! [`Scope::spawn`], implemented on top of `std::thread::scope`. As in
+//! crossbeam, the scope joins every spawned thread before returning and
+//! reports child panics through its `Result` instead of unwinding.
+
+#![warn(missing_docs)]
+
+use std::thread;
+
+/// A scope handle passed to [`scope`]'s closure; spawn threads through it.
+#[derive(Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+// Manual impls: deriving would put a `Clone` bound on the lifetimes' types.
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+/// Handle to a spawned scoped thread; `join` returns the closure's result.
+pub type ScopedJoinHandle<'scope, T> = thread::ScopedJoinHandle<'scope, T>;
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives a copy of the scope so
+    /// nested spawns are possible (callers commonly ignore it with `|_|`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = *self;
+        self.inner.spawn(move || f(handle))
+    }
+}
+
+/// Runs `f` with a [`Scope`]; joins all spawned threads before returning.
+///
+/// Returns `Err` carrying the panic payload if any child thread panicked,
+/// mirroring crossbeam's signature (callers `.unwrap()` it).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for _ in 0..8 {
+                let total = &total;
+                s.spawn(move |_| {
+                    for _ in 0..1000 {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 8_000);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let got = scope(|s| s.spawn(|_| 41 + 1).join().unwrap()).unwrap();
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("child dies"));
+        });
+        assert!(result.is_err());
+    }
+}

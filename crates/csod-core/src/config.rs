@@ -1,5 +1,6 @@
 //! Runtime configuration.
 
+use crate::degradation::DegradationParams;
 use crate::policy::ReplacementPolicy;
 use csod_rng::PPM_SCALE;
 use sim_machine::VirtDuration;
@@ -99,6 +100,9 @@ pub struct CsodConfig {
     pub evidence: bool,
     /// Adaptive-sampling constants.
     pub sampling: SamplingParams,
+    /// Graceful-degradation knobs for a misbehaving watchpoint backend
+    /// (retry backoff, context quarantine, canary-only fallback).
+    pub degradation: DegradationParams,
     /// Age after which an installed watchpoint's probability is halved
     /// when competing against a replacement candidate (paper: 10 s).
     pub watch_age_decay: VirtDuration,
@@ -121,6 +125,7 @@ impl Default for CsodConfig {
             watchpoint_slots: 4,
             evidence: true,
             sampling: SamplingParams::default(),
+            degradation: DegradationParams::default(),
             watch_age_decay: VirtDuration::from_secs(10),
             seed: 0xC50D,
             evidence_path: None,
@@ -188,6 +193,20 @@ impl CsodConfig {
                 s.revive_ppm, s.floor_ppm
             ));
         }
+        let d = &self.degradation;
+        if d.degrade_threshold == 0 {
+            return Err("a degrade threshold of 0 would start in canary-only mode".into());
+        }
+        if d.quarantine_threshold == 0 {
+            return Err("a quarantine threshold of 0 would bench contexts pre-emptively".into());
+        }
+        if d.max_backoff < d.retry_backoff {
+            return Err(format!(
+                "max backoff ({} ns) below the initial backoff ({} ns)",
+                d.max_backoff.as_nanos(),
+                d.retry_backoff.as_nanos()
+            ));
+        }
         Ok(())
     }
 }
@@ -251,6 +270,25 @@ mod tests {
             ..SamplingParams::default()
         });
         assert!(dead_revive.validate().unwrap_err().contains("no-op"));
+        let with_degradation = |degradation: DegradationParams| CsodConfig {
+            degradation,
+            ..CsodConfig::default()
+        };
+        let zero_degrade = with_degradation(DegradationParams {
+            degrade_threshold: 0,
+            ..DegradationParams::default()
+        });
+        assert!(zero_degrade.validate().unwrap_err().contains("canary-only"));
+        let zero_quarantine = with_degradation(DegradationParams {
+            quarantine_threshold: 0,
+            ..DegradationParams::default()
+        });
+        assert!(zero_quarantine.validate().is_err());
+        let inverted_backoff = with_degradation(DegradationParams {
+            max_backoff: VirtDuration::from_nanos(1),
+            ..DegradationParams::default()
+        });
+        assert!(inverted_backoff.validate().unwrap_err().contains("backoff"));
     }
 
     #[test]

@@ -30,6 +30,7 @@
 
 mod canary;
 mod config;
+mod degradation;
 mod evidence;
 mod policy;
 mod report;
@@ -40,6 +41,9 @@ mod watchpoints;
 
 pub use canary::{CanaryStatus, CanaryUnit, ObjectHeader, ObjectLayout, CANARY_SIZE, HEADER_SIZE, OBJECT_IDENTIFIER};
 pub use config::{CsodConfig, SamplingParams, WatchBackend};
+pub use degradation::{
+    DegradationManager, DegradationParams, DegradationStats, DetectionMode, FailureVerdict,
+};
 pub use evidence::EvidenceStore;
 pub use policy::{ParsePolicyError, ReplacementPolicy};
 pub use report::{DetectionMethod, OverflowReport};

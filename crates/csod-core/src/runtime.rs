@@ -8,6 +8,7 @@
 
 use crate::canary::{CanaryStatus, CanaryUnit, ObjectLayout, HEADER_SIZE};
 use crate::config::CsodConfig;
+use crate::degradation::{DegradationManager, DegradationStats, DetectionMode};
 use crate::evidence::EvidenceStore;
 use crate::report::{DetectionMethod, OverflowReport};
 use crate::sampling::{CtxId, SamplingUnit};
@@ -90,6 +91,15 @@ pub struct CsodStats {
     pub canary_free_hits: u64,
     /// Corrupted canaries found by the termination sweep.
     pub canary_exit_hits: u64,
+    /// Watchpoint installs the backend refused.
+    pub install_failures: u64,
+    /// Install retries attempted after a backend failure.
+    pub install_retries: u64,
+    /// Transitions into canary-only detection (backend persistently
+    /// unavailable).
+    pub degradations: u64,
+    /// Transitions back to watchpoint detection (a probe succeeded).
+    pub recoveries: u64,
 }
 
 /// The CSOD runtime.
@@ -113,7 +123,7 @@ pub struct CsodStats {
 ///
 /// // The workload declares its allocation site and overflow statement.
 /// let alloc_ctx = CallingContext::from_locations(&frames, ["app.c:10", "main.c:3"]);
-/// let key = ContextKey::new(alloc_ctx.first_level().unwrap(), 0x40);
+/// let key = ContextKey::new(alloc_ctx.first_level().ok_or("empty backtrace")?, 0x40);
 /// let site = SiteToken(1);
 /// csod.register_site(site, CallingContext::from_locations(&frames, ["memcpy.S:81", "app.c:22"]));
 ///
@@ -133,6 +143,7 @@ pub struct Csod {
     frames: Arc<FrameTable>,
     sampling: SamplingUnit,
     watchpoints: WatchpointManager,
+    degradation: DegradationManager,
     canary: CanaryUnit,
     evidence: EvidenceStore,
     rngs: HashMap<ThreadId, Arc4Random>,
@@ -181,6 +192,7 @@ impl Csod {
                 config.watch_age_decay,
                 config.watchpoint_slots,
             ),
+            degradation: DegradationManager::new(config.degradation, config.watchpoint_slots),
             canary,
             evidence,
             rngs: HashMap::new(),
@@ -430,9 +442,9 @@ impl Csod {
     ) {
         let availability = self.watchpoints.has_free_slot() && decision.prior_watches == 0;
         if decision.wants_watch || availability {
-            let sampling = &self.sampling;
-            let outcome = self.watchpoints.consider(
+            self.try_install(
                 machine,
+                tid,
                 WatchCandidate {
                     object_start: record.user,
                     canary_addr: record.canary_addr,
@@ -440,14 +452,72 @@ impl Csod {
                     ctx_id: decision.ctx_id,
                     probability_ppm: decision.probability_ppm,
                 },
-                self.rngs.get_mut(&tid).expect("rng created in the prologue"),
-                |k| sampling.probability_ppm(k),
+                0,
             );
-            if outcome != InstallOutcome::Rejected {
-                self.sampling.on_watched(key);
-            }
         }
         self.records.insert(record.user.as_u64(), record);
+    }
+
+    /// One gated install attempt, reporting the outcome back to the
+    /// degradation manager. `prior_attempts` is 0 for a first try and the
+    /// retry count when re-attempting a previously failed candidate.
+    fn try_install(
+        &mut self,
+        machine: &mut Machine,
+        tid: ThreadId,
+        candidate: WatchCandidate,
+        prior_attempts: u32,
+    ) -> InstallOutcome {
+        let now = machine.now();
+        if !self.degradation.allows_install(now, candidate.key) {
+            // Gated by quarantine, backoff, or canary-only mode — not a
+            // policy decision, so no stats.rejected bump.
+            return InstallOutcome::Rejected;
+        }
+        let sampling = &self.sampling;
+        let seed = self.config.seed;
+        let rng = self
+            .rngs
+            .entry(tid)
+            .or_insert_with(|| Arc4Random::from_seed(seed, u64::from(tid.as_u32())));
+        let outcome = self
+            .watchpoints
+            .consider(machine, candidate, rng, |k| sampling.probability_ppm(k));
+        match outcome {
+            InstallOutcome::Failed => {
+                let verdict = self
+                    .degradation
+                    .on_install_failure(now, candidate, prior_attempts);
+                if verdict.quarantined {
+                    self.sampling.quarantine(candidate.key);
+                }
+            }
+            InstallOutcome::Rejected => {}
+            InstallOutcome::InstalledFree | InstallOutcome::Replaced => {
+                self.degradation.on_install_success(candidate.key);
+                if prior_attempts > 0 {
+                    self.degradation.on_retry_success();
+                }
+                self.sampling.on_watched(candidate.key);
+            }
+        }
+        outcome
+    }
+
+    /// Re-attempts installs whose retry backoff has elapsed. Candidates
+    /// whose object was freed in the meantime (or got watched through
+    /// another allocation) are silently dropped.
+    fn retry_installs(&mut self, machine: &mut Machine) {
+        let due = self.degradation.due_retries(machine.now());
+        for (candidate, attempts) in due {
+            if !self.records.contains_key(&candidate.object_start.as_u64())
+                || self.watchpoints.is_watched(candidate.object_start)
+            {
+                continue;
+            }
+            self.stats.install_retries += 1;
+            self.try_install(machine, ThreadId::MAIN, candidate, attempts);
+        }
     }
 
     /// Interposed `free`.
@@ -477,8 +547,10 @@ impl Csod {
 
         // "Upon every deallocation, CSOD checks whether the current
         // object is being watched. If yes, the corresponding watchpoint
-        // will be removed."
+        // will be removed." A pending install retry for the object is
+        // cancelled with it — the address may be recycled.
         self.watchpoints.remove_by_object(machine, user);
+        self.degradation.cancel_retry(user);
 
         if self.config.evidence {
             machine.charge(CostDomain::Tool, machine.costs().canary_check);
@@ -522,7 +594,11 @@ impl Csod {
     /// Drains pending machine signals and handles them: watchpoint traps
     /// become [`OverflowReport`]s; SIGSEGV/SIGABRT trigger the erroneous-
     /// exit canary sweep the Termination Handling Unit registers.
+    ///
+    /// Install retries whose backoff elapsed are re-attempted first, so a
+    /// transiently failing backend self-heals on the polling cadence.
     pub fn poll(&mut self, machine: &mut Machine) {
+        self.retry_installs(machine);
         for sig in machine.take_signals() {
             match sig.signal {
                 Signal::Trap => self.on_trap(machine, sig),
@@ -671,9 +747,35 @@ impl Csod {
             .any(|r| r.method == DetectionMethod::Watchpoint)
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters. The degradation-health fields are folded in
+    /// from the [`DegradationManager`] at read time, so there is a single
+    /// source of truth for them.
     pub fn stats(&self) -> CsodStats {
-        self.stats
+        let d = self.degradation.stats();
+        CsodStats {
+            install_failures: d.install_failures,
+            degradations: d.degradations,
+            recoveries: d.recoveries,
+            ..self.stats
+        }
+    }
+
+    /// The detection tier currently in effect (watchpoints, or canary-
+    /// only while the backend is considered down).
+    pub fn detection_mode(&self) -> DetectionMode {
+        self.degradation.mode()
+    }
+
+    /// Degradation-ladder counters (retries, quarantines, probes, mode
+    /// transitions).
+    pub fn degradation_stats(&self) -> DegradationStats {
+        self.degradation.stats()
+    }
+
+    /// Number of contexts currently quarantined by the degradation
+    /// manager.
+    pub fn quarantined_contexts(&self, machine: &Machine) -> usize {
+        self.degradation.quarantined_contexts(machine.now())
     }
 
     /// Watchpoint-manager counters (Table IV's "WT" is

@@ -244,6 +244,20 @@ impl SamplingUnit {
         });
     }
 
+    /// Drops `key` to the probability floor — called when the degradation
+    /// manager benches a context whose installs keep failing, so the
+    /// sampler stops proposing it while the quarantine lasts. Evidence-
+    /// pinned contexts are exempt: a proven overflow outranks backend
+    /// trouble.
+    pub fn quarantine(&self, key: ContextKey) {
+        let floor = self.params.floor_ppm;
+        self.table.with_existing(key, |state| {
+            if !state.pinned_certain {
+                state.probability_ppm = floor;
+            }
+        });
+    }
+
     /// Pins `key` at 100 % — called when canary evidence proves the
     /// context overflows (Section IV-B).
     pub fn pin_certain(&self, key: ContextKey) {

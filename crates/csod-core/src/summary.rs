@@ -56,6 +56,18 @@ pub struct RunSummary {
     pub reports: usize,
     /// Contexts with persisted overflow evidence.
     pub evidence_contexts: usize,
+    /// Watchpoint installs the backend refused.
+    pub install_failures: u64,
+    /// Install retries attempted after backend failures.
+    pub install_retries: u64,
+    /// Transitions into canary-only detection.
+    pub degradations: u64,
+    /// Transitions back to watchpoint detection.
+    pub recoveries: u64,
+    /// Contexts quarantined at collection time.
+    pub quarantined_contexts: usize,
+    /// Whether the run ended in canary-only mode (backend still down).
+    pub canary_only: bool,
     /// System calls the tool issued.
     pub syscalls: u64,
     /// Normalized overhead of the run so far (Figure 7 metric).
@@ -79,6 +91,12 @@ impl RunSummary {
             canary_exit_hits: stats.canary_exit_hits,
             reports: csod.reports().len(),
             evidence_contexts: csod.evidence().len(),
+            install_failures: stats.install_failures,
+            install_retries: stats.install_retries,
+            degradations: stats.degradations,
+            recoveries: stats.recoveries,
+            quarantined_contexts: csod.quarantined_contexts(machine),
+            canary_only: csod.detection_mode() == crate::DetectionMode::CanaryOnly,
             syscalls: machine.counter().syscalls(),
             overhead: machine.counter().normalized_overhead(),
         }
@@ -112,6 +130,16 @@ impl fmt::Display for RunSummary {
             f,
             "evidence store: {} context(s) with observed overflows",
             self.evidence_contexts
+        )?;
+        writeln!(
+            f,
+            "health: {} failed install(s), {} retried, {} degradation(s), {} recover(ies), {} quarantined, mode: {}",
+            self.install_failures,
+            self.install_retries,
+            self.degradations,
+            self.recoveries,
+            self.quarantined_contexts,
+            if self.canary_only { "canary-only" } else { "watchpoints" }
         )?;
         write!(
             f,

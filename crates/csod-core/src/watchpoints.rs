@@ -19,8 +19,8 @@ use crate::sampling::CtxId;
 use csod_ctx::ContextKey;
 use csod_rng::Arc4Random;
 use sim_machine::{
-    Fd, FcntlCmd, IoctlCmd, Machine, PerfEventAttr, Signal, ThreadId, VirtAddr, VirtDuration,
-    VirtInstant, NUM_WATCHPOINT_REGISTERS,
+    Fd, FcntlCmd, IoctlCmd, Machine, PerfError, PerfEventAttr, Signal, ThreadId, VirtAddr,
+    VirtDuration, VirtInstant, NUM_WATCHPOINT_REGISTERS,
 };
 
 /// A request to watch one freshly allocated object.
@@ -97,6 +97,10 @@ pub enum InstallOutcome {
     /// The candidate lost: all slots busy and no victim had a lower
     /// effective probability (or the policy never preempts).
     Rejected,
+    /// The backend refused the install (`EBUSY`/`ENOSPC`/`EINTR` from the
+    /// perf syscalls). The slot is left free; the degradation manager
+    /// decides whether to retry, quarantine, or fall back to canaries.
+    Failed,
 }
 
 /// Counters the manager maintains (Table IV's "WT" column and the
@@ -111,6 +115,9 @@ pub struct WatchpointStats {
     pub removals_on_free: u64,
     /// Candidates rejected by the policy.
     pub rejected: u64,
+    /// Installs the backend refused (fault injection or a co-resident
+    /// debugger holding the registers).
+    pub install_failures: u64,
 }
 
 /// The Watchpoint Management Unit.
@@ -209,9 +216,16 @@ impl WatchpointManager {
         current_ctx_ppm: impl Fn(ContextKey) -> Option<u32>,
     ) -> InstallOutcome {
         if let Some(free) = self.slots.iter().position(Option::is_none) {
-            self.install_into(machine, free, candidate);
-            self.stats.installs += 1;
-            return InstallOutcome::InstalledFree;
+            return match self.install_into(machine, free, candidate) {
+                Ok(()) => {
+                    self.stats.installs += 1;
+                    InstallOutcome::InstalledFree
+                }
+                Err(_) => {
+                    self.stats.install_failures += 1;
+                    InstallOutcome::Failed
+                }
+            };
         }
         let now = machine.now();
         let victim = match self.policy {
@@ -240,10 +254,19 @@ impl WatchpointManager {
         match victim {
             Some(idx) => {
                 self.remove_slot(machine, idx);
-                self.install_into(machine, idx, candidate);
-                self.stats.installs += 1;
-                self.stats.replacements += 1;
-                InstallOutcome::Replaced
+                match self.install_into(machine, idx, candidate) {
+                    Ok(()) => {
+                        self.stats.installs += 1;
+                        self.stats.replacements += 1;
+                        InstallOutcome::Replaced
+                    }
+                    // The victim is gone and the candidate did not make
+                    // it in: the slot stays free for the next attempt.
+                    Err(_) => {
+                        self.stats.install_failures += 1;
+                        InstallOutcome::Failed
+                    }
+                }
             }
             None => {
                 self.stats.rejected += 1;
@@ -317,14 +340,27 @@ impl WatchpointManager {
     /// Extends every installed watchpoint onto a newly spawned thread —
     /// CSOD's `pthread_create` interception. Thread creation is rare, so
     /// even the combined-syscall backend uses the per-thread route here.
+    ///
+    /// A slot that cannot be extended to the new thread is torn down
+    /// entirely: partial coverage would let the unwatched thread overflow
+    /// silently while the tool believes the object is guarded. The canary
+    /// fallback still covers the object.
     pub fn install_on_thread(&mut self, machine: &mut Machine, tid: ThreadId) {
         let backend = match self.backend {
             WatchBackend::CombinedSyscall => WatchBackend::PerfEvent,
             other => other,
         };
-        for slot in self.slots.iter_mut().flatten() {
-            let fd = open_watch_event(machine, backend, slot.canary_addr, tid);
-            slot.fds.push((tid, fd));
+        for idx in 0..self.slots.len() {
+            let Some(slot) = self.slots[idx].as_mut() else {
+                continue;
+            };
+            match open_watch_event(machine, backend, slot.canary_addr, tid) {
+                Ok(fd) => slot.fds.push((tid, fd)),
+                Err(_) => {
+                    self.stats.install_failures += 1;
+                    self.remove_slot(machine, idx);
+                }
+            }
         }
     }
 
@@ -345,25 +381,36 @@ impl WatchpointManager {
         }
     }
 
-    fn install_into(&mut self, machine: &mut Machine, idx: usize, candidate: WatchCandidate) {
+    fn install_into(
+        &mut self,
+        machine: &mut Machine,
+        idx: usize,
+        candidate: WatchCandidate,
+    ) -> Result<(), PerfError> {
         debug_assert!(self.slots[idx].is_none());
         // Figure 3: install the watchpoint on ALL alive threads, "since
         // there is no way to know which thread will cause an overflow".
+        // Any per-thread failure rolls back the threads already armed so
+        // a failed install never leaks a descriptor or register.
         let fds = match self.backend {
-            WatchBackend::CombinedSyscall => machine
-                .sys_watch_all_threads(PerfEventAttr::rw_word(candidate.canary_addr))
-                .expect("a debug register is reserved for each managed slot"),
+            WatchBackend::CombinedSyscall => {
+                machine.sys_watch_all_threads(PerfEventAttr::rw_word(candidate.canary_addr))?
+            }
             _ => {
                 let threads: Vec<ThreadId> = machine.threads().alive().collect();
-                threads
-                    .into_iter()
-                    .map(|tid| {
-                        (
-                            tid,
-                            open_watch_event(machine, self.backend, candidate.canary_addr, tid),
-                        )
-                    })
-                    .collect()
+                let mut fds: Vec<(ThreadId, Fd)> = Vec::with_capacity(threads.len());
+                for tid in threads {
+                    match open_watch_event(machine, self.backend, candidate.canary_addr, tid) {
+                        Ok(fd) => fds.push((tid, fd)),
+                        Err(e) => {
+                            for (_tid, fd) in fds {
+                                close_watch_event(machine, self.backend, fd);
+                            }
+                            return Err(e);
+                        }
+                    }
+                }
+                fds
             }
         };
         self.slots[idx] = Some(WatchedObject {
@@ -375,6 +422,7 @@ impl WatchpointManager {
             installed_at: machine.now(),
             fds,
         });
+        Ok(())
     }
 
     fn remove_slot(&mut self, machine: &mut Machine, idx: usize) {
@@ -384,17 +432,12 @@ impl WatchpointManager {
                 // Figure 4: disable the event and close the descriptor on
                 // every thread that still holds one.
                 for (_tid, fd) in watched.fds {
-                    machine
-                        .sys_ioctl(fd, IoctlCmd::Disable)
-                        .expect("watchpoint event is open");
-                    machine.sys_close(fd).expect("watchpoint event is open");
+                    close_watch_event(machine, WatchBackend::PerfEvent, fd);
                 }
             }
             WatchBackend::Ptrace => {
                 for (_tid, fd) in watched.fds {
-                    machine
-                        .sys_ptrace_unwatch(fd)
-                        .expect("watchpoint event is open");
+                    close_watch_event(machine, WatchBackend::Ptrace, fd);
                 }
             }
             WatchBackend::CombinedSyscall => {
@@ -406,29 +449,52 @@ impl WatchpointManager {
 }
 
 /// Installs one armed watchpoint event on one thread through the chosen
-/// backend. The perf route performs the full Figure-3 syscall sequence.
+/// backend. The perf route performs the full Figure-3 syscall sequence;
+/// a failure mid-sequence closes the half-configured descriptor before
+/// reporting the error, so callers never see a leaked fd.
 fn open_watch_event(
     machine: &mut Machine,
     backend: WatchBackend,
     canary_addr: VirtAddr,
     tid: ThreadId,
-) -> Fd {
+) -> Result<Fd, PerfError> {
     match backend {
-        WatchBackend::Ptrace => machine
-            .sys_ptrace_watch(PerfEventAttr::rw_word(canary_addr), tid)
-            .expect("a debug register is reserved for each managed slot"),
+        WatchBackend::Ptrace => machine.sys_ptrace_watch(PerfEventAttr::rw_word(canary_addr), tid),
         _ => {
-            let fd = machine
-                .sys_perf_event_open(PerfEventAttr::rw_word(canary_addr), tid)
-                .expect("a debug register is reserved for each managed slot");
-            let _flags = machine.sys_fcntl(fd, FcntlCmd::GetFl).expect("fd open");
-            machine.sys_fcntl(fd, FcntlCmd::SetFlAsync).expect("fd open");
-            machine
-                .sys_fcntl(fd, FcntlCmd::SetSig(Signal::Trap))
-                .expect("fd open");
-            machine.sys_fcntl(fd, FcntlCmd::SetOwn(tid)).expect("fd open");
-            machine.sys_ioctl(fd, IoctlCmd::Enable).expect("fd open");
-            fd
+            let fd = machine.sys_perf_event_open(PerfEventAttr::rw_word(canary_addr), tid)?;
+            let sequence = |machine: &mut Machine| -> Result<(), PerfError> {
+                let _flags = machine.sys_fcntl(fd, FcntlCmd::GetFl)?;
+                machine.sys_fcntl(fd, FcntlCmd::SetFlAsync)?;
+                machine.sys_fcntl(fd, FcntlCmd::SetSig(Signal::Trap))?;
+                machine.sys_fcntl(fd, FcntlCmd::SetOwn(tid))?;
+                machine.sys_ioctl(fd, IoctlCmd::Enable)?;
+                Ok(())
+            };
+            match sequence(machine) {
+                Ok(()) => Ok(fd),
+                Err(e) => {
+                    // EINTR on close still releases the descriptor, so a
+                    // single best-effort close cannot leak.
+                    let _ = machine.sys_close(fd);
+                    Err(e)
+                }
+            }
+        }
+    }
+}
+
+/// Tears down one armed watchpoint event, tolerating injected failures:
+/// `ioctl`/`close` may report `EINTR`, but the kernel releases the
+/// descriptor (and its debug register) regardless, so the teardown never
+/// retries — retrying a close is the classic double-close bug.
+fn close_watch_event(machine: &mut Machine, backend: WatchBackend, fd: Fd) {
+    match backend {
+        WatchBackend::Ptrace => {
+            let _ = machine.sys_ptrace_unwatch(fd);
+        }
+        _ => {
+            let _ = machine.sys_ioctl(fd, IoctlCmd::Disable);
+            let _ = machine.sys_close(fd);
         }
     }
 }

@@ -20,7 +20,12 @@
 //!
 //! let frames = FrameTable::new();
 //! let ctx = CallingContext::from_locations(&frames, ["app.c:42", "main.c:7"]);
-//! let key = ContextKey::new(ctx.first_level().unwrap(), 0x40);
+//! // An empty backtrace has no first-level site to key on, so
+//! // `first_level` is fallible; bail out rather than unwrap.
+//! let Some(site) = ctx.first_level() else {
+//!     return;
+//! };
+//! let key = ContextKey::new(site, 0x40);
 //!
 //! let table: ContextTable<u64> = ContextTable::new();
 //! table.with_entry(key, || 0, |allocs| *allocs += 1);

@@ -124,9 +124,14 @@ impl SimHeap {
     ///
     /// # Errors
     ///
-    /// Returns [`HeapError::OutOfMemory`] when the region is exhausted.
+    /// Returns [`HeapError::OutOfMemory`] when the region is exhausted or
+    /// when the machine's fault plan injects allocator pressure.
     pub fn malloc(&mut self, machine: &mut Machine, size: u64) -> Result<VirtAddr, HeapError> {
         machine.charge(CostDomain::App, machine.costs().malloc_base);
+        if machine.fault_alloc_fails() {
+            self.stats.failed_allocs += 1;
+            return Err(HeapError::OutOfMemory { requested: size });
+        }
         self.allocate(size)
     }
 
@@ -202,6 +207,10 @@ impl SimHeap {
             return Err(HeapError::BadAlignment(align));
         }
         machine.charge(CostDomain::App, machine.costs().malloc_base);
+        if machine.fault_alloc_fails() {
+            self.stats.failed_allocs += 1;
+            return Err(HeapError::OutOfMemory { requested: size });
+        }
         if align <= MIN_ALIGN {
             return self.allocate(size);
         }

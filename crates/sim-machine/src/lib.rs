@@ -54,6 +54,7 @@ mod addr;
 mod clock;
 mod cost;
 mod debug;
+mod faults;
 mod machine;
 mod memory;
 mod perf;
@@ -65,6 +66,7 @@ pub use addr::{AccessKind, AddrRange, VirtAddr};
 pub use clock::{Clock, VirtDuration, VirtInstant};
 pub use cost::{CostDomain, CostModel, CycleCounter};
 pub use debug::{DebugRegisterFile, NUM_WATCHPOINT_REGISTERS};
+pub use faults::{FaultPlan, FaultStats};
 pub use machine::{Machine, PmuSample};
 pub use recorder::{FlightRecorder, LogEvent};
 pub use memory::{AddressSpace, MemoryError};

@@ -4,6 +4,7 @@
 use crate::addr::{AccessKind, AddrRange, VirtAddr};
 use crate::clock::{Clock, VirtDuration, VirtInstant};
 use crate::cost::{CostDomain, CostModel, CycleCounter};
+use crate::faults::{FaultPlan, FaultStats};
 use crate::memory::{AddressSpace, MemoryError};
 use crate::perf::{Fd, FcntlCmd, IoctlCmd, PerfError, PerfEventAttr, PerfSubsystem};
 use crate::recorder::{FlightRecorder, LogEvent};
@@ -67,6 +68,10 @@ pub struct Machine {
     pmu_countdown: u64,
     pmu_samples: VecDeque<PmuSample>,
     recorder: Option<FlightRecorder>,
+    faults: Option<FaultPlan>,
+    /// Signals whose delivery a fault plan postponed, with their due time.
+    /// The delay is constant per plan, so pushes arrive in due order.
+    delayed: VecDeque<(VirtInstant, SignalInfo)>,
 }
 
 /// One PMU (PEBS-style) memory-access sample, as consumed by the
@@ -132,7 +137,44 @@ impl Machine {
             pmu_countdown: 0,
             pmu_samples: VecDeque::new(),
             recorder: None,
+            faults: None,
+            delayed: VecDeque::new(),
         }
+    }
+
+    // ----- fault injection ---------------------------------------------------
+
+    /// Installs a fault-injection plan; subsequent perf syscalls, signal
+    /// deliveries and heap allocations consult it. Replaces any previous
+    /// plan.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes the fault plan, returning it (with its counters) for
+    /// inspection.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// Counters of the faults injected so far, if a plan is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(FaultPlan::stats)
+    }
+
+    /// Whether the installed fault plan (if any) marks the debug
+    /// registers as stolen right now. Tools use this as their cheap
+    /// backend-health probe.
+    pub fn registers_busy(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.registers_busy_at(self.clock.now()))
+    }
+
+    /// Fault hook for allocators: whether the next heap allocation must
+    /// fail. Draws from (and counts against) the installed plan.
+    pub fn fault_alloc_fails(&mut self) -> bool {
+        self.faults.as_mut().is_some_and(FaultPlan::fail_alloc)
     }
 
     // ----- time & accounting -------------------------------------------------
@@ -331,11 +373,16 @@ impl Machine {
         let range = AddrRange::new(addr, len);
         for hit in self.perf.check_access(tid, range, kind) {
             self.traps_fired += 1;
+            // The hardware trap happened either way; a fault plan can
+            // still lose or postpone the *delivery* of the signal.
+            if self.faults.as_mut().is_some_and(FaultPlan::drop_signal) {
+                continue;
+            }
             self.record(LogEvent::SignalRaised {
                 signal: hit.sig,
                 thread: hit.owner,
             });
-            self.pending.push_back(SignalInfo {
+            let info = SignalInfo {
                 signal: hit.sig,
                 // F_SETOWN directed the signal at `hit.owner`; CSOD sets the
                 // owner to the thread the event is pinned to, which is the
@@ -345,7 +392,11 @@ impl Machine {
                 fault_addr: hit.watched.start(),
                 access: kind,
                 site,
-            });
+            };
+            match self.faults.as_mut().and_then(FaultPlan::delay_signal) {
+                Some(delay) => self.delayed.push_back((self.clock.now() + delay, info)),
+                None => self.pending.push_back(info),
+            }
         }
         Ok(())
     }
@@ -546,6 +597,10 @@ impl Machine {
         if !self.threads.is_alive(tid) {
             return Err(PerfError::NoSuchThread(tid));
         }
+        let now = self.clock.now();
+        if let Some(e) = self.faults.as_mut().and_then(|f| f.fail_open(now, tid)) {
+            return Err(e);
+        }
         self.perf.open(attr, tid)
     }
 
@@ -557,6 +612,9 @@ impl Machine {
     pub fn sys_fcntl(&mut self, fd: Fd, cmd: FcntlCmd) -> Result<i64, PerfError> {
         self.record(LogEvent::Syscall { name: "fcntl" });
         self.syscall_cost(self.cost.syscall);
+        if let Some(e) = self.faults.as_mut().and_then(FaultPlan::fail_fcntl) {
+            return Err(e);
+        }
         self.perf.fcntl(fd, cmd)
     }
 
@@ -568,6 +626,9 @@ impl Machine {
     pub fn sys_ioctl(&mut self, fd: Fd, cmd: IoctlCmd) -> Result<(), PerfError> {
         self.record(LogEvent::Syscall { name: "ioctl" });
         self.syscall_cost(self.cost.syscall);
+        if let Some(e) = self.faults.as_mut().and_then(FaultPlan::fail_ioctl) {
+            return Err(e);
+        }
         self.perf.ioctl(fd, cmd)
     }
 
@@ -579,6 +640,12 @@ impl Machine {
     pub fn sys_close(&mut self, fd: Fd) -> Result<(), PerfError> {
         self.record(LogEvent::Syscall { name: "close" });
         self.syscall_cost(self.cost.syscall);
+        if self.faults.as_mut().is_some_and(FaultPlan::fail_close) {
+            // As on Linux, an EINTR from close still releases the
+            // descriptor; the error only means the caller cannot know.
+            let _ = self.perf.close(fd);
+            return Err(PerfError::Interrupted);
+        }
         self.perf.close(fd)
     }
 
@@ -731,13 +798,30 @@ impl Machine {
     // ----- signals ------------------------------------------------------------------
 
     /// Drains and returns all pending signals in delivery order.
+    /// Fault-delayed signals join the queue once virtual time reaches
+    /// their due point.
     pub fn take_signals(&mut self) -> Vec<SignalInfo> {
+        let now = self.clock.now();
+        while let Some(&(due, _)) = self.delayed.front() {
+            if due > now {
+                break;
+            }
+            let (_, info) = self.delayed.pop_front().expect("front checked");
+            self.pending.push_back(info);
+        }
         self.pending.drain(..).collect()
     }
 
-    /// Whether any signal is waiting for delivery.
+    /// Whether any signal is waiting for delivery (including fault-
+    /// delayed signals that are already due).
     pub fn has_pending_signals(&self) -> bool {
-        !self.pending.is_empty()
+        let now = self.clock.now();
+        !self.pending.is_empty() || self.delayed.iter().any(|&(due, _)| due <= now)
+    }
+
+    /// Signals still held back by a fault-injected delivery delay.
+    pub fn delayed_signal_count(&self) -> usize {
+        self.delayed.len()
     }
 
     /// Raises a signal programmatically (e.g. the program calls `abort`).

@@ -133,6 +133,15 @@ pub enum PerfError {
     NoSuchThread(ThreadId),
     /// Unsupported watch length (`EINVAL`); hardware allows 1, 2, 4, 8.
     InvalidLength(u64),
+    /// The debug hardware is held by another agent — a co-resident
+    /// debugger or profiler (`EBUSY`). Unlike [`PerfError::NoFreeRegister`]
+    /// this is transient and not caused by the tool's own events.
+    DeviceBusy(ThreadId),
+    /// The kernel refused to allocate event state (`ENOSPC`).
+    NoSpace,
+    /// The call was interrupted (`EINTR`). For `close`, the descriptor is
+    /// still released — as on Linux, retrying the close would be the bug.
+    Interrupted,
 }
 
 impl fmt::Display for PerfError {
@@ -146,6 +155,11 @@ impl fmt::Display for PerfError {
             PerfError::InvalidLength(l) => {
                 write!(f, "invalid breakpoint length {l} (EINVAL)")
             }
+            PerfError::DeviceBusy(t) => {
+                write!(f, "debug hardware on {t} held by another agent (EBUSY)")
+            }
+            PerfError::NoSpace => write!(f, "no kernel space for perf event (ENOSPC)"),
+            PerfError::Interrupted => write!(f, "interrupted system call (EINTR)"),
         }
     }
 }

@@ -10,6 +10,7 @@
 #![warn(missing_debug_implementations)]
 
 mod buggy;
+mod chaos;
 mod driver;
 mod fuzz;
 mod perf;
@@ -18,6 +19,7 @@ mod sites;
 mod trace;
 
 pub use buggy::{BuggyApp, OverflowKind};
+pub use chaos::{run_chaos_soak, ChaosConfig, ChaosOutcome};
 pub use driver::{RunOutcome, ToolSpec, TraceRunner};
 pub use fuzz::{FuzzBug, FuzzWorkload};
 pub use perf::PerfApp;

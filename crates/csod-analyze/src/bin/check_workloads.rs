@@ -1,0 +1,84 @@
+//! Analyzer self-test: run the static analysis over every built-in
+//! workload and fail if any planted or dynamically observed overflow
+//! comes from a context the analysis proved safe.
+//!
+//! ```text
+//! cargo run -p csod-analyze --bin check_workloads -- --check-workloads
+//! ```
+//!
+//! CI runs this as its own job; a non-zero exit means the analysis is
+//! unsound on a workload the repo itself ships — the one bug class the
+//! priors design cannot tolerate.
+
+use csod_analyze::{analyze, oracle};
+use csod_core::RiskClass;
+use std::process::ExitCode;
+use workloads::{BuggyApp, FuzzWorkload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if !(args.is_empty() || args.iter().any(|a| a == "--check-workloads")) {
+        eprintln!("usage: check_workloads [--check-workloads]");
+        return ExitCode::from(2);
+    }
+
+    let mut checked = 0usize;
+    let mut failures = 0usize;
+
+    // 1. Every planted overflow in the buggy suite must be flagged.
+    for app in BuggyApp::all() {
+        let registry = app.registry();
+        for seed in 1..=5 {
+            let report = analyze(&registry, &app.trace(seed));
+            checked += 1;
+            let class = report.class_of(app.bug_ctx());
+            if class == RiskClass::ProvenSafe {
+                failures += 1;
+                eprintln!(
+                    "FAIL {} (seed {seed}): planted overflow context {} is proven-safe",
+                    app.name,
+                    app.bug_ctx()
+                );
+            }
+        }
+        let (safe, sus, unknown) = analyze(&registry, &app.trace(1)).census();
+        println!(
+            "{:<28} {safe:>3} proven-safe {sus:>2} suspicious {unknown:>2} unknown",
+            app.name
+        );
+    }
+
+    // 2. Fuzzed workloads: anything the oracle saw overflow must not be
+    // proven safe (including the injected FuzzBug context).
+    for seed in 0..64 {
+        for inject in [false, true] {
+            let w = FuzzWorkload::generate(seed, inject);
+            let report = analyze(&w.registry, &w.trace);
+            checked += 1;
+            for site in oracle::overflowed_sites(&w.trace) {
+                if report.class_of(site) == RiskClass::ProvenSafe {
+                    failures += 1;
+                    eprintln!(
+                        "FAIL fuzz seed {seed} (inject={inject}): overflowed site {site} is proven-safe"
+                    );
+                }
+            }
+            if let Some(bug) = w.bug {
+                if report.class_of(bug.ctx) == RiskClass::ProvenSafe {
+                    failures += 1;
+                    eprintln!(
+                        "FAIL fuzz seed {seed}: injected bug context {} is proven-safe",
+                        bug.ctx
+                    );
+                }
+            }
+        }
+    }
+
+    println!("checked {checked} analyses, {failures} soundness failure(s)");
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,387 @@
+//! The classifier: bounds facts in, per-site risk verdicts out.
+//!
+//! For every `Use` the binding resolution left us, the classifier
+//! relates the access's byte range to the size of the object(s) it can
+//! touch and folds the result into a per-allocation-site verdict:
+//!
+//! * **Definite** bindings compare exactly: `offset + len > size` is an
+//!   overflow, anything else is proven in bounds for *this* access.
+//! * **Ambiguous** bindings go through a per-`(access site, slot)`
+//!   [`AccessSummary`] — the interval join of every end offset the
+//!   statement produces, switching to widening after
+//!   [`WIDEN_AFTER`] occurrences so huge traces summarize in constant
+//!   space. A summary bounded below the smallest candidate object is
+//!   safe; one that can reach past it is suspicious; one whose bound
+//!   was invented by widening proves nothing and yields *Unknown*.
+//! * `PastEnd` accesses (the trace's overflow events) are out of
+//!   bounds for every possible size and mark every candidate site
+//!   suspicious outright.
+//!
+//! Uses-after-free are out of overflow scope (CSOD removes the
+//! watchpoint at `free`) and are skipped. The lattice is
+//! `ProvenSafe < Unknown < Suspicious`: a site keeps the worst verdict
+//! any of its generations' accesses earned.
+
+use crate::cfg::{Binding, Bindings};
+use crate::domain::Interval;
+use crate::ir::{AccessRange, Program, StmtKind};
+use csod_core::RiskClass;
+use std::collections::HashMap;
+
+/// Number of occurrences after which an access summary stops joining
+/// and starts widening. Joins of concrete ends are exact; widening
+/// bounds the work on access-dense traces at the price of precision.
+pub const WIDEN_AFTER: usize = 64;
+
+/// Interval summary of every end offset one access site produces
+/// through one slot.
+#[derive(Debug, Clone)]
+pub struct AccessSummary {
+    /// Interval of exclusive end offsets (bytes past object base).
+    pub end: Interval,
+    /// Number of accesses folded in.
+    pub occurrences: usize,
+}
+
+impl AccessSummary {
+    fn fold(&mut self, end: i128) {
+        let point = Interval::point(end);
+        self.end = if self.occurrences < WIDEN_AFTER {
+            self.end.join(point)
+        } else {
+            self.end.widen(point)
+        };
+        self.occurrences += 1;
+    }
+}
+
+/// The verdict for one allocation site.
+#[derive(Debug, Clone)]
+pub struct SiteOutcome {
+    /// Allocation-site index in the registry.
+    pub site: usize,
+    /// The risk class every calling context of this site gets.
+    pub class: RiskClass,
+    /// Human-readable justification (for suspicious/unknown verdicts).
+    pub witness: Option<String>,
+}
+
+fn rank(class: RiskClass) -> u8 {
+    match class {
+        RiskClass::ProvenSafe => 0,
+        RiskClass::Unknown => 1,
+        RiskClass::Suspicious => 2,
+    }
+}
+
+/// Classifies every allocation site of `program`.
+pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
+    let mut outcomes: Vec<SiteOutcome> = (0..program.alloc_site_count)
+        .map(|site| SiteOutcome {
+            site,
+            class: RiskClass::ProvenSafe,
+            witness: None,
+        })
+        .collect();
+    let raise = |outcomes: &mut Vec<SiteOutcome>, site: usize, class: RiskClass, w: String| {
+        if site < outcomes.len() && rank(class) > rank(outcomes[site].class) {
+            outcomes[site].class = class;
+            outcomes[site].witness = Some(w);
+        }
+    };
+
+    // Pass 1: summarize ambiguous exact accesses per (token, slot).
+    // Iterate in program order (not map order) so summary folding —
+    // and with it the widening point — is deterministic.
+    let mut summaries: HashMap<(u64, usize), AccessSummary> = HashMap::new();
+    for (thread, stmts) in program.threads.iter().enumerate() {
+        for (i, stmt) in stmts.iter().enumerate() {
+            let StmtKind::Use {
+                slot,
+                range: AccessRange::Exact { offset, len },
+                token,
+                dangling: false,
+                ..
+            } = stmt.kind
+            else {
+                continue;
+            };
+            if !matches!(bindings.of(thread, i), Some(Binding::Ambiguous(_))) {
+                continue;
+            }
+            let end = i128::from(offset.saturating_add(len));
+            summaries
+                .entry((token.0, slot))
+                .and_modify(|s| s.fold(end))
+                .or_insert(AccessSummary {
+                    end: Interval::point(end),
+                    occurrences: 1,
+                });
+        }
+    }
+
+    // Pass 2: fold every bound access into its site's verdict.
+    let uses = program.threads.iter().enumerate().flat_map(|(t, stmts)| {
+        (0..stmts.len()).filter_map(move |i| bindings.of(t, i).map(|b| (t, i, b)))
+    });
+    for (thread, i, binding) in uses {
+        let StmtKind::Use {
+            slot,
+            range,
+            token,
+            dangling,
+            ..
+        } = program.threads[thread][i].kind
+        else {
+            continue;
+        };
+        if dangling {
+            continue;
+        }
+        match (range, binding) {
+            (_, Binding::None) => {}
+            (AccessRange::FirstWord, _) => {
+                // The runner clamps bursts to the first in-bounds word;
+                // safe for every size.
+            }
+            (AccessRange::PastEnd, Binding::Definite(g)) => {
+                let gen = program.generation(*g);
+                raise(
+                    &mut outcomes,
+                    gen.site,
+                    RiskClass::Suspicious,
+                    format!(
+                        "statement {} overflows past the boundary of the {}-byte object",
+                        token.0, gen.size
+                    ),
+                );
+            }
+            (AccessRange::PastEnd, Binding::Ambiguous(gens)) => {
+                for g in gens {
+                    let gen = program.generation(*g);
+                    raise(
+                        &mut outcomes,
+                        gen.site,
+                        RiskClass::Suspicious,
+                        format!(
+                            "statement {} overflows a possibly-bound object of slot {}",
+                            token.0, slot
+                        ),
+                    );
+                }
+            }
+            (AccessRange::Exact { offset, len }, Binding::Definite(g)) => {
+                let gen = program.generation(*g);
+                let end = offset.saturating_add(len);
+                if end > gen.size {
+                    raise(
+                        &mut outcomes,
+                        gen.site,
+                        RiskClass::Suspicious,
+                        format!(
+                            "access [{offset}, {end}) exceeds the {}-byte object",
+                            gen.size
+                        ),
+                    );
+                }
+            }
+            (AccessRange::Exact { .. }, Binding::Ambiguous(gens)) => {
+                let summary = &summaries[&(token.0, slot)];
+                let end_hi = if summary.end.widened {
+                    None
+                } else {
+                    summary.end.hi_finite()
+                };
+                let Some(end_hi) = end_hi else {
+                    for g in gens {
+                        let gen = program.generation(*g);
+                        raise(
+                            &mut outcomes,
+                            gen.site,
+                            RiskClass::Unknown,
+                            format!(
+                                "access summary of statement {} through slot {} widened to {}",
+                                token.0, slot, summary.end
+                            ),
+                        );
+                    }
+                    continue;
+                };
+                // Per candidate site, compare against the smallest
+                // object this binding can put in the slot.
+                let mut min_size: HashMap<usize, u64> = HashMap::new();
+                for g in gens {
+                    let gen = program.generation(*g);
+                    min_size
+                        .entry(gen.site)
+                        .and_modify(|m| *m = (*m).min(gen.size))
+                        .or_insert(gen.size);
+                }
+                for (site, size) in min_size {
+                    if end_hi > i128::from(size) {
+                        raise(
+                            &mut outcomes,
+                            site,
+                            RiskClass::Suspicious,
+                            format!(
+                                "summarized access end {} can exceed a {size}-byte binding of slot {slot}",
+                                summary.end
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Sites never allocated in the trace stay vacuously safe; note why.
+    let mut allocated = vec![false; program.alloc_site_count];
+    for gen in &program.generations {
+        if gen.site < allocated.len() {
+            allocated[gen.site] = true;
+        }
+    }
+    for outcome in &mut outcomes {
+        if !allocated[outcome.site] && outcome.witness.is_none() {
+            outcome.witness = Some("never allocated in the analyzed trace".to_owned());
+        }
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{resolve_bindings, Cfg};
+    use crate::escape::analyze_slots;
+    use crate::ir::lower;
+    use csod_ctx::FrameTable;
+    use sim_machine::{AccessKind, SiteToken};
+    use std::sync::Arc;
+    use workloads::{Event, SiteRegistry};
+
+    fn registry(sites: usize) -> SiteRegistry {
+        let mut reg = SiteRegistry::new("clstest", Arc::new(FrameTable::new()));
+        reg.add_alloc_sites(sites);
+        reg.add_access_site("clstest", "u.c:1");
+        reg
+    }
+
+    fn run(reg: &SiteRegistry, trace: &[Event]) -> Vec<SiteOutcome> {
+        let program = lower(reg, trace);
+        let cfg = Cfg::build(&program);
+        let slots = analyze_slots(&program);
+        let bindings = resolve_bindings(&program, &cfg, &slots);
+        classify(&program, &bindings)
+    }
+
+    #[test]
+    fn in_bounds_accesses_prove_the_site_safe() {
+        let reg = registry(1);
+        let t = SiteToken(0);
+        let trace = vec![
+            Event::malloc(0, 64, 0),
+            Event::access(0, 0, 8, AccessKind::Read, t),
+            Event::access(0, 56, 8, AccessKind::Write, t),
+            Event::burst(0, 1000, AccessKind::Read, t),
+            Event::free(0),
+        ];
+        let out = run(&reg, &trace);
+        assert_eq!(out[0].class, RiskClass::ProvenSafe);
+    }
+
+    #[test]
+    fn definite_out_of_bounds_intent_is_suspicious() {
+        let reg = registry(1);
+        let t = SiteToken(0);
+        let trace = vec![
+            Event::malloc(0, 16, 0),
+            // As-written [12, 20) exceeds the 16-byte object.
+            Event::access(0, 12, 8, AccessKind::Write, t),
+        ];
+        let out = run(&reg, &trace);
+        assert_eq!(out[0].class, RiskClass::Suspicious);
+        assert!(out[0].witness.as_deref().unwrap().contains("exceeds"));
+    }
+
+    #[test]
+    fn past_end_overflow_is_suspicious() {
+        let reg = registry(2);
+        let t = SiteToken(0);
+        let trace = vec![
+            Event::malloc(0, 16, 0),
+            Event::malloc(1, 16, 1),
+            Event::access(1, 0, 8, AccessKind::Read, t),
+            Event::overflow(0, AccessKind::Write, t),
+        ];
+        let out = run(&reg, &trace);
+        assert_eq!(out[0].class, RiskClass::Suspicious);
+        assert_eq!(out[1].class, RiskClass::ProvenSafe);
+    }
+
+    #[test]
+    fn ambiguous_binding_compares_against_the_smallest_candidate() {
+        let reg = registry(2);
+        let t = SiteToken(0);
+        // Slot 0 escapes with two generations: 16 B (site 0) and 64 B
+        // (site 1). A 24-byte-end access fits the big one only.
+        let trace = vec![
+            Event::SpawnThread,
+            Event::malloc(0, 16, 0),
+            Event::malloc(1, 64, 0),
+            Event::Access {
+                thread: 1,
+                slot: 0,
+                offset: 16,
+                len: 8,
+                kind: AccessKind::Read,
+                site: t,
+            },
+        ];
+        let out = run(&reg, &trace);
+        assert_eq!(out[0].class, RiskClass::Suspicious);
+        assert_eq!(out[1].class, RiskClass::ProvenSafe);
+    }
+
+    #[test]
+    fn widened_summary_demotes_to_unknown() {
+        let reg = registry(2);
+        let t = SiteToken(0);
+        let mut trace = vec![
+            Event::SpawnThread,
+            Event::malloc(0, 100_000, 0),
+            Event::malloc(1, 100_000, 0),
+        ];
+        // One statement, ever-growing in-bounds ends through an escaped
+        // slot: past WIDEN_AFTER the summary widens to +inf.
+        for i in 0..(WIDEN_AFTER as u64 + 8) {
+            trace.push(Event::Access {
+                thread: 1,
+                slot: 0,
+                offset: i * 8,
+                len: 8,
+                kind: AccessKind::Read,
+                site: t,
+            });
+        }
+        let out = run(&reg, &trace);
+        assert_eq!(out[0].class, RiskClass::Unknown);
+        assert_eq!(out[1].class, RiskClass::Unknown);
+        assert!(out[0].witness.as_deref().unwrap().contains("widened"));
+    }
+
+    #[test]
+    fn never_allocated_sites_are_vacuously_safe() {
+        let reg = registry(3);
+        let trace = vec![Event::malloc(0, 8, 0)];
+        let out = run(&reg, &trace);
+        assert_eq!(out[2].class, RiskClass::ProvenSafe);
+        assert!(out[2].witness.as_deref().unwrap().contains("never allocated"));
+    }
+
+    #[test]
+    fn suspicious_outranks_unknown() {
+        assert!(rank(RiskClass::Suspicious) > rank(RiskClass::Unknown));
+        assert!(rank(RiskClass::Unknown) > rank(RiskClass::ProvenSafe));
+    }
+}

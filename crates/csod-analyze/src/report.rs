@@ -1,0 +1,299 @@
+//! The serializable risk report and its bridge to the runtime.
+//!
+//! [`RiskReport`] is the analyzer's output artifact: one verdict per
+//! allocation site, addressed by the same `|`-joined frame signature
+//! the runtime's [`EvidenceStore`](csod_core::EvidenceStore) uses, so
+//! reports survive process restarts and site-index reshuffles. The
+//! [`RiskReport::to_priors`] bridge turns a report into the
+//! [`AnalysisPriors`] table [`CsodConfig`](csod_core::CsodConfig)
+//! consumes — that is the whole hand-off between the offline analysis
+//! and the online sampler.
+
+use csod_core::{AnalysisPriors, EvidenceStore, RiskClass};
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+use std::str::FromStr;
+use workloads::SiteRegistry;
+
+/// The verdict for one allocation site, in serializable form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteVerdict {
+    /// Allocation-site index in the registry the report was built from.
+    pub site: usize,
+    /// Frame signature of the site's calling context (innermost first,
+    /// `|`-separated) — the stable cross-run address.
+    pub signature: String,
+    /// The risk class.
+    pub class: RiskClass,
+    /// Human-readable justification, if the classifier produced one.
+    pub witness: Option<String>,
+}
+
+/// Per-application output of [`analyze`](crate::analyze).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RiskReport {
+    /// The analyzed application's name.
+    pub app: String,
+    /// One verdict per allocation site, in site-index order.
+    pub verdicts: Vec<SiteVerdict>,
+}
+
+impl RiskReport {
+    /// Assembles a report from classifier outcomes against the registry
+    /// that produced the trace.
+    pub fn new(registry: &SiteRegistry, outcomes: Vec<crate::classify::SiteOutcome>) -> RiskReport {
+        let frames = registry.frames();
+        let verdicts = outcomes
+            .into_iter()
+            .map(|o| SiteVerdict {
+                site: o.site,
+                signature: EvidenceStore::signature(&registry.alloc_site(o.site).context, frames),
+                class: o.class,
+                witness: o.witness,
+            })
+            .collect();
+        RiskReport {
+            app: registry.app().to_owned(),
+            verdicts,
+        }
+    }
+
+    /// The class of allocation site `site`; `Unknown` for sites the
+    /// report does not cover.
+    pub fn class_of(&self, site: usize) -> RiskClass {
+        self.verdicts
+            .iter()
+            .find(|v| v.site == site)
+            .map_or(RiskClass::Unknown, |v| v.class)
+    }
+
+    /// Counts of `(proven-safe, suspicious, unknown)` verdicts.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut safe = 0;
+        let mut sus = 0;
+        let mut unknown = 0;
+        for v in &self.verdicts {
+            match v.class {
+                RiskClass::ProvenSafe => safe += 1,
+                RiskClass::Suspicious => sus += 1,
+                RiskClass::Unknown => unknown += 1,
+            }
+        }
+        (safe, sus, unknown)
+    }
+
+    /// Builds the runtime prior table: each verdict is keyed by the
+    /// cheap [`ContextKey`](csod_ctx::ContextKey) the sampler hashes,
+    /// looked up from `registry`.
+    pub fn to_priors(&self, registry: &SiteRegistry) -> AnalysisPriors {
+        AnalysisPriors::from_classes(
+            self.verdicts
+                .iter()
+                .filter(|v| v.site < registry.alloc_site_count())
+                .map(|v| (registry.alloc_site(v.site).key, v.class)),
+        )
+    }
+
+    /// Saves the report as a line-oriented text file
+    /// (`class<TAB>signature<TAB>witness`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O failure.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::new();
+        out.push_str(&format!("# csod-analyze risk report: app {}\n", self.app));
+        for v in &self.verdicts {
+            out.push_str(&format!(
+                "{}\t{}\t{}\n",
+                v.class,
+                v.signature,
+                v.witness.as_deref().unwrap_or("-")
+            ));
+        }
+        let mut file = fs::File::create(path)?;
+        file.write_all(out.as_bytes())
+    }
+
+    /// Loads a report saved by [`save`](RiskReport::save), resolving
+    /// signatures against `registry`. Lines whose signature matches no
+    /// current allocation site are dropped (the report outlived the
+    /// application version it was computed for).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than `NotFound`, which yields an
+    /// empty report — absence of a report file means "no priors".
+    pub fn load(path: &Path, registry: &SiteRegistry) -> io::Result<RiskReport> {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let frames = registry.frames();
+        let mut verdicts = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            let (Some(class), Some(signature)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            let Ok(class) = RiskClass::from_str(class) else {
+                continue;
+            };
+            let witness = parts.next().filter(|w| *w != "-").map(str::to_owned);
+            let found = registry.alloc_sites().find(|site| {
+                EvidenceStore::signature(&site.context, frames) == signature
+            });
+            if let Some(site) = found {
+                verdicts.push(SiteVerdict {
+                    site: site.index,
+                    signature: signature.to_owned(),
+                    class,
+                    witness,
+                });
+            }
+        }
+        Ok(RiskReport {
+            app: registry.app().to_owned(),
+            verdicts,
+        })
+    }
+}
+
+impl fmt::Display for RiskReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (safe, sus, unknown) = self.census();
+        writeln!(
+            f,
+            "==== risk report: {} ({} site(s): {safe} proven-safe, {sus} suspicious, {unknown} unknown) ====",
+            self.app,
+            self.verdicts.len()
+        )?;
+        for v in &self.verdicts {
+            let innermost = v.signature.split('|').next().unwrap_or("?");
+            write!(f, "site {:>3} {:<12} {innermost}", v.site, v.class.to_string())?;
+            if let Some(w) = &v.witness {
+                write!(f, "  ({w})")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::SiteOutcome;
+    use csod_ctx::FrameTable;
+    use std::sync::Arc;
+
+    fn registry() -> SiteRegistry {
+        let mut reg = SiteRegistry::new("reptest", Arc::new(FrameTable::new()));
+        reg.add_alloc_sites(3);
+        reg
+    }
+
+    fn report(reg: &SiteRegistry) -> RiskReport {
+        RiskReport::new(
+            reg,
+            vec![
+                SiteOutcome {
+                    site: 0,
+                    class: RiskClass::ProvenSafe,
+                    witness: None,
+                },
+                SiteOutcome {
+                    site: 1,
+                    class: RiskClass::Suspicious,
+                    witness: Some("access [8, 24) exceeds the 16-byte object".to_owned()),
+                },
+                SiteOutcome {
+                    site: 2,
+                    class: RiskClass::Unknown,
+                    witness: Some("widened".to_owned()),
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn census_and_class_lookup() {
+        let reg = registry();
+        let r = report(&reg);
+        assert_eq!(r.census(), (1, 1, 1));
+        assert_eq!(r.class_of(1), RiskClass::Suspicious);
+        // Uncovered sites default to Unknown: no claim, no boost.
+        assert_eq!(r.class_of(99), RiskClass::Unknown);
+    }
+
+    #[test]
+    fn priors_carry_the_registry_keys() {
+        let reg = registry();
+        let priors = report(&reg).to_priors(&reg);
+        assert_eq!(priors.census(), (1, 1, 1));
+        assert_eq!(
+            priors.class_of(reg.alloc_site(0).key),
+            Some(RiskClass::ProvenSafe)
+        );
+        assert_eq!(
+            priors.class_of(reg.alloc_site(1).key),
+            Some(RiskClass::Suspicious)
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips_through_signatures() {
+        let reg = registry();
+        let r = report(&reg);
+        let dir = std::env::temp_dir().join("csod-analyze-report-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("risk.tsv");
+        r.save(&path).unwrap();
+        let loaded = RiskReport::load(&path, &reg).unwrap();
+        assert_eq!(loaded, r);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_of_missing_file_is_an_empty_report() {
+        let reg = registry();
+        let loaded =
+            RiskReport::load(Path::new("/nonexistent/risk.tsv"), &reg).unwrap();
+        assert!(loaded.verdicts.is_empty());
+        assert!(loaded.to_priors(&reg).is_empty());
+    }
+
+    #[test]
+    fn stale_signatures_are_dropped_on_load() {
+        let reg = registry();
+        let r = report(&reg);
+        let dir = std::env::temp_dir().join("csod-analyze-report-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stale.tsv");
+        let mut text = String::from("# header\nsuspicious\tno/such/frame.c:1|main.c:1\t-\n");
+        text.push_str(&format!(
+            "proven-safe\t{}\t-\n",
+            r.verdicts[0].signature
+        ));
+        fs::write(&path, text).unwrap();
+        let loaded = RiskReport::load(&path, &reg).unwrap();
+        assert_eq!(loaded.verdicts.len(), 1);
+        assert_eq!(loaded.verdicts[0].site, 0);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn display_lists_each_site_once() {
+        let reg = registry();
+        let text = report(&reg).to_string();
+        assert!(text.contains("1 proven-safe, 1 suspicious, 1 unknown"));
+        assert!(text.contains("exceeds the 16-byte object"));
+    }
+}

@@ -157,7 +157,11 @@ impl CanaryUnit {
         Some(ObjectHeader {
             real_ptr: VirtAddr::new(machine.raw_load_u64(base).ok()?),
             object_size: machine.raw_load_u64(base + 8).ok()?,
-            ctx_id: CtxId::from_index(machine.raw_load_u64(base + 16).ok()? as u32),
+            // A ctx index above u32::MAX cannot have been written by
+            // us: treat it as a trampled header.
+            ctx_id: CtxId::from_index(
+                u32::try_from(machine.raw_load_u64(base + 16).ok()?).ok()?,
+            ),
         })
     }
 

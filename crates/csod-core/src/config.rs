@@ -2,10 +2,44 @@
 
 use crate::degradation::DegradationParams;
 use crate::policy::ReplacementPolicy;
+use csod_ctx::ContextKey;
 use csod_rng::PPM_SCALE;
 use sim_machine::VirtDuration;
+use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
+
+/// The paper's pre-defined sampling macros (Sections III-B2 and IV-A) as
+/// shared named constants.
+///
+/// "These percentages are pre-defined macros used at compilation time" —
+/// every crate that needs one of them (the Sampling Management Unit's
+/// defaults, the `ablation_sampling` sweep labels, the Sampler baseline's
+/// comparable-budget tuning) must reference these constants instead of
+/// re-deriving the numbers, so the crates cannot drift apart.
+pub mod paper {
+    use csod_rng::PPM_SCALE;
+    use sim_machine::VirtDuration;
+
+    /// Initial watch probability of every new calling context: 50 %.
+    pub const INITIAL_WATCH_PPM: u32 = PPM_SCALE / 2;
+    /// Degradation applied on every allocation from a context: 0.001 %.
+    pub const DEGRADE_PER_ALLOC_PPM: u32 = 10;
+    /// Lower bound no degradation can cross: 0.001 %.
+    pub const FLOOR_PPM: u32 = 10;
+    /// Allocations within [`BURST_WINDOW`] beyond which a context is
+    /// throttled: 5,000.
+    pub const BURST_ALLOC_THRESHOLD: u32 = 5_000;
+    /// The burst-detection window: 10 seconds.
+    pub const BURST_WINDOW: VirtDuration = VirtDuration::from_secs(10);
+    /// Probability while throttled: 0.0001 %.
+    pub const BURST_THROTTLE_PPM: u32 = 1;
+    /// Reviving boost applied to floor-level contexts (Section IV-A):
+    /// 0.01 %.
+    pub const REVIVE_PPM: u32 = 100;
+    /// Quiet period before a floor-level context may be revived.
+    pub const REVIVE_PERIOD: VirtDuration = VirtDuration::from_secs(10);
+}
 
 /// How watchpoints reach the hardware debug registers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -70,16 +104,131 @@ pub struct SamplingParams {
 impl Default for SamplingParams {
     fn default() -> Self {
         SamplingParams {
-            initial_ppm: PPM_SCALE / 2,  // 50%
-            degrade_per_alloc_ppm: 10,   // 0.001%
-            floor_ppm: 10,               // 0.001%
-            burst_threshold: 5_000,
-            burst_window: VirtDuration::from_secs(10),
-            burst_ppm: 1, // 0.0001%
-            revive_ppm: 100, // 0.01%
-            revive_period: VirtDuration::from_secs(10),
+            initial_ppm: paper::INITIAL_WATCH_PPM,
+            degrade_per_alloc_ppm: paper::DEGRADE_PER_ALLOC_PPM,
+            floor_ppm: paper::FLOOR_PPM,
+            burst_threshold: paper::BURST_ALLOC_THRESHOLD,
+            burst_window: paper::BURST_WINDOW,
+            burst_ppm: paper::BURST_THROTTLE_PPM,
+            revive_ppm: paper::REVIVE_PPM,
+            revive_period: paper::REVIVE_PERIOD,
             revive_chance_ppm: PPM_SCALE / 100, // 1% per allocation once eligible
         }
+    }
+}
+
+/// Static risk verdict for one allocation calling context, produced by
+/// the `csod-analyze` pre-pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RiskClass {
+    /// Every reachable access is provably within the object's bounds —
+    /// the sampler may start the context at the probability floor.
+    ProvenSafe,
+    /// Some reachable access can reach or exceed the object size — the
+    /// sampler boosts the context and exempts it from burst throttling.
+    Suspicious,
+    /// The analysis lost precision (widened interval, ambiguous pointer
+    /// binding); the paper's default schedule applies unchanged.
+    Unknown,
+}
+
+/// Error parsing a [`RiskClass`] from its `Display` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRiskClassError(String);
+
+impl fmt::Display for ParseRiskClassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown risk class {:?}", self.0)
+    }
+}
+
+impl std::error::Error for ParseRiskClassError {}
+
+impl std::str::FromStr for RiskClass {
+    type Err = ParseRiskClassError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "proven-safe" => Ok(RiskClass::ProvenSafe),
+            "suspicious" => Ok(RiskClass::Suspicious),
+            "unknown" => Ok(RiskClass::Unknown),
+            other => Err(ParseRiskClassError(other.to_owned())),
+        }
+    }
+}
+
+impl fmt::Display for RiskClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RiskClass::ProvenSafe => f.write_str("proven-safe"),
+            RiskClass::Suspicious => f.write_str("suspicious"),
+            RiskClass::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+/// Per-context risk priors fed into the Sampling Management Unit from a
+/// static pre-analysis (`csod-analyze`'s `RiskReport::to_priors`).
+///
+/// An empty table (the default) leaves the runtime behaviour exactly as
+/// the paper describes: every context starts at
+/// [`paper::INITIAL_WATCH_PPM`] and follows the adaptive schedule.
+/// With priors, [`RiskClass::ProvenSafe`] contexts start at the floor
+/// and skip the availability bypass, [`RiskClass::Suspicious`] contexts
+/// start at [`AnalysisPriors::suspicious_ppm`] and are exempt from burst
+/// throttling, and [`RiskClass::Unknown`] contexts are untouched.
+/// Evidence pinning (Section IV-B) always outranks a prior.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AnalysisPriors {
+    /// Static verdict per allocation calling context.
+    pub classes: HashMap<ContextKey, RiskClass>,
+    /// Initial probability for [`RiskClass::Suspicious`] contexts, in
+    /// ppm. Must exceed the 50 % default to mean anything.
+    pub suspicious_ppm: u32,
+}
+
+impl AnalysisPriors {
+    /// The default boost for suspicious contexts: 90 %.
+    pub const DEFAULT_SUSPICIOUS_PPM: u32 = PPM_SCALE / 10 * 9;
+
+    /// An empty prior table (no static analysis ran).
+    pub fn none() -> Self {
+        AnalysisPriors::default()
+    }
+
+    /// Builds a prior table from per-context verdicts with the default
+    /// suspicious boost.
+    pub fn from_classes(classes: impl IntoIterator<Item = (ContextKey, RiskClass)>) -> Self {
+        AnalysisPriors {
+            classes: classes.into_iter().collect(),
+            suspicious_ppm: Self::DEFAULT_SUSPICIOUS_PPM,
+        }
+    }
+
+    /// `true` if no context has a verdict.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The verdict recorded for `key`, if any.
+    pub fn class_of(&self, key: ContextKey) -> Option<RiskClass> {
+        self.classes.get(&key).copied()
+    }
+
+    /// Number of contexts carrying each verdict:
+    /// `(proven_safe, suspicious, unknown)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut safe = 0;
+        let mut sus = 0;
+        let mut unknown = 0;
+        for class in self.classes.values() {
+            match class {
+                RiskClass::ProvenSafe => safe += 1,
+                RiskClass::Suspicious => sus += 1,
+                RiskClass::Unknown => unknown += 1,
+            }
+        }
+        (safe, sus, unknown)
     }
 }
 
@@ -100,6 +249,9 @@ pub struct CsodConfig {
     pub evidence: bool,
     /// Adaptive-sampling constants.
     pub sampling: SamplingParams,
+    /// Per-context risk priors from the `csod-analyze` static pre-pass.
+    /// Empty by default — the purely dynamic schedule of the paper.
+    pub priors: AnalysisPriors,
     /// Graceful-degradation knobs for a misbehaving watchpoint backend
     /// (retry backoff, context quarantine, canary-only fallback).
     pub degradation: DegradationParams,
@@ -125,6 +277,7 @@ impl Default for CsodConfig {
             watchpoint_slots: 4,
             evidence: true,
             sampling: SamplingParams::default(),
+            priors: AnalysisPriors::none(),
             degradation: DegradationParams::default(),
             watch_age_decay: VirtDuration::from_secs(10),
             seed: 0xC50D,
@@ -155,6 +308,15 @@ impl CsodConfig {
     pub fn with_seed(seed: u64) -> Self {
         CsodConfig {
             seed,
+            ..CsodConfig::default()
+        }
+    }
+
+    /// Convenience: default configuration primed with the given static
+    /// analysis verdicts.
+    pub fn with_priors(priors: AnalysisPriors) -> Self {
+        CsodConfig {
+            priors,
             ..CsodConfig::default()
         }
     }
@@ -192,6 +354,20 @@ impl CsodConfig {
                 "reviving to {} ppm below the floor ({} ppm) is a no-op",
                 s.revive_ppm, s.floor_ppm
             ));
+        }
+        if !self.priors.is_empty() {
+            if self.priors.suspicious_ppm > PPM_SCALE {
+                return Err(format!(
+                    "suspicious prior {} ppm exceeds 100%",
+                    self.priors.suspicious_ppm
+                ));
+            }
+            if self.priors.suspicious_ppm <= s.initial_ppm {
+                return Err(format!(
+                    "suspicious prior ({} ppm) must exceed the initial probability ({} ppm) to be a boost",
+                    self.priors.suspicious_ppm, s.initial_ppm
+                ));
+            }
         }
         let d = &self.degradation;
         if d.degrade_threshold == 0 {
@@ -299,5 +475,65 @@ mod tests {
             ReplacementPolicy::Naive
         );
         assert_eq!(CsodConfig::with_seed(7).seed, 7);
+    }
+
+    #[test]
+    fn sampling_defaults_come_from_the_shared_paper_constants() {
+        let p = SamplingParams::default();
+        assert_eq!(p.initial_ppm, paper::INITIAL_WATCH_PPM);
+        assert_eq!(p.degrade_per_alloc_ppm, paper::DEGRADE_PER_ALLOC_PPM);
+        assert_eq!(p.floor_ppm, paper::FLOOR_PPM);
+        assert_eq!(p.burst_threshold, paper::BURST_ALLOC_THRESHOLD);
+        assert_eq!(p.burst_window, paper::BURST_WINDOW);
+        assert_eq!(p.burst_ppm, paper::BURST_THROTTLE_PPM);
+        assert_eq!(p.revive_ppm, paper::REVIVE_PPM);
+        assert_eq!(p.revive_period, paper::REVIVE_PERIOD);
+    }
+
+    #[test]
+    fn priors_default_empty_and_census_counts() {
+        use csod_ctx::FrameTable;
+        let c = CsodConfig::default();
+        assert!(c.priors.is_empty());
+        assert_eq!(c.validate(), Ok(()));
+
+        let frames = FrameTable::new();
+        let k = |name: &str| ContextKey::new(frames.intern(name), 0x40);
+        let priors = AnalysisPriors::from_classes([
+            (k("a"), RiskClass::ProvenSafe),
+            (k("b"), RiskClass::ProvenSafe),
+            (k("c"), RiskClass::Suspicious),
+            (k("d"), RiskClass::Unknown),
+        ]);
+        assert_eq!(priors.census(), (2, 1, 1));
+        assert_eq!(priors.class_of(k("c")), Some(RiskClass::Suspicious));
+        assert_eq!(priors.class_of(k("zzz")), None);
+        let primed = CsodConfig::with_priors(priors);
+        assert_eq!(primed.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_useless_suspicious_prior() {
+        use csod_ctx::FrameTable;
+        let frames = FrameTable::new();
+        let k = ContextKey::new(frames.intern("a"), 0x40);
+        let mut priors = AnalysisPriors::from_classes([(k, RiskClass::Suspicious)]);
+        priors.suspicious_ppm = 2_000_000;
+        assert!(CsodConfig::with_priors(priors.clone())
+            .validate()
+            .unwrap_err()
+            .contains("100%"));
+        priors.suspicious_ppm = paper::INITIAL_WATCH_PPM; // not a boost
+        assert!(CsodConfig::with_priors(priors)
+            .validate()
+            .unwrap_err()
+            .contains("boost"));
+    }
+
+    #[test]
+    fn risk_class_display() {
+        assert_eq!(RiskClass::ProvenSafe.to_string(), "proven-safe");
+        assert_eq!(RiskClass::Suspicious.to_string(), "suspicious");
+        assert_eq!(RiskClass::Unknown.to_string(), "unknown");
     }
 }

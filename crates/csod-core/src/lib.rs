@@ -27,6 +27,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::missing_panics_doc)]
 
 mod canary;
 mod config;
@@ -40,7 +42,9 @@ mod summary;
 mod watchpoints;
 
 pub use canary::{CanaryStatus, CanaryUnit, ObjectHeader, ObjectLayout, CANARY_SIZE, HEADER_SIZE, OBJECT_IDENTIFIER};
-pub use config::{CsodConfig, SamplingParams, WatchBackend};
+pub use config::{
+    paper, AnalysisPriors, CsodConfig, ParseRiskClassError, RiskClass, SamplingParams, WatchBackend,
+};
 pub use degradation::{
     DegradationManager, DegradationParams, DegradationStats, DetectionMode, FailureVerdict,
 };

@@ -7,7 +7,7 @@
 //! Termination Handling Units ([`Csod::finish`]).
 
 use crate::canary::{CanaryStatus, CanaryUnit, ObjectLayout, HEADER_SIZE};
-use crate::config::CsodConfig;
+use crate::config::{CsodConfig, RiskClass};
 use crate::degradation::{DegradationManager, DegradationStats, DetectionMode};
 use crate::evidence::EvidenceStore;
 use crate::report::{DetectionMethod, OverflowReport};
@@ -100,6 +100,21 @@ pub struct CsodStats {
     pub degradations: u64,
     /// Transitions back to watchpoint detection (a probe succeeded).
     pub recoveries: u64,
+    /// Allocations from contexts the static pre-analysis proved safe.
+    pub proven_safe_allocs: u64,
+    /// Watchpoint installs spent on proven-safe contexts (the priors'
+    /// savings target: this should be a small fraction of what the
+    /// default schedule would spend).
+    pub proven_safe_installs: u64,
+    /// Watchpoint installs spent on statically suspicious contexts.
+    pub suspicious_installs: u64,
+    /// Availability-rule bypasses denied because the context was proven
+    /// safe — watch slots the priors saved outright.
+    pub prior_availability_skips: u64,
+    /// Soundness counter: overflows detected in contexts the analyzer
+    /// had classified proven-safe. Must stay zero; anything else is an
+    /// analyzer soundness bug.
+    pub proven_safe_overflows: u64,
 }
 
 /// The CSOD runtime.
@@ -185,7 +200,7 @@ impl Csod {
         let mut secret_rng = Arc4Random::from_seed(config.seed, u64::MAX);
         let canary = CanaryUnit::new(secret_rng.next_u64());
         Csod {
-            sampling: SamplingUnit::new(config.sampling),
+            sampling: SamplingUnit::with_priors(config.sampling, config.priors.clone()),
             watchpoints: WatchpointManager::with_slots(
                 config.policy,
                 config.backend,
@@ -382,7 +397,9 @@ impl Csod {
             .get(&user.as_u64())
             .ok_or(CsodError::UnknownPointer(user))?;
         let new_user = self.malloc(machine, heap, tid, new_size, key, capture_full)?;
-        let copy = old.requested.min(new_size) as usize;
+        // Object sizes fit the host address space; a saturated copy
+        // would fail at the allocation below long before wrapping.
+        let copy = usize::try_from(old.requested.min(new_size)).unwrap_or(usize::MAX);
         if copy > 0 {
             let mut buf = vec![0u8; copy];
             machine.raw_read_bytes(user, &mut buf)?;
@@ -425,6 +442,9 @@ impl Csod {
             machine.charge(CostDomain::Tool, machine.costs().full_backtrace);
         }
         self.stats.allocations += 1;
+        if decision.prior == Some(RiskClass::ProvenSafe) {
+            self.stats.proven_safe_allocs += 1;
+        }
         decision
     }
 
@@ -440,9 +460,18 @@ impl Csod {
         key: ContextKey,
         record: AllocationRecord,
     ) {
-        let availability = self.watchpoints.has_free_slot() && decision.prior_watches == 0;
+        // The availability rule never spends a free register on a
+        // context the static analysis proved safe: its floor probability
+        // already encodes "almost certainly clean", and the canary plus
+        // the probability floor remain as the soundness net.
+        let proven_safe = decision.prior == Some(RiskClass::ProvenSafe);
+        let bypass_eligible = self.watchpoints.has_free_slot() && decision.prior_watches == 0;
+        let availability = bypass_eligible && !proven_safe;
+        if proven_safe && bypass_eligible && !decision.wants_watch {
+            self.stats.prior_availability_skips += 1;
+        }
         if decision.wants_watch || availability {
-            self.try_install(
+            let outcome = self.try_install(
                 machine,
                 tid,
                 WatchCandidate {
@@ -454,6 +483,13 @@ impl Csod {
                 },
                 0,
             );
+            if matches!(outcome, InstallOutcome::InstalledFree | InstallOutcome::Replaced) {
+                match decision.prior {
+                    Some(RiskClass::ProvenSafe) => self.stats.proven_safe_installs += 1,
+                    Some(RiskClass::Suspicious) => self.stats.suspicious_installs += 1,
+                    Some(RiskClass::Unknown) | None => {}
+                }
+            }
         }
         self.records.insert(record.user.as_u64(), record);
     }
@@ -630,6 +666,11 @@ impl Csod {
         {
             return; // already reported this (context, site, thread) triple
         }
+        if self.config.priors.class_of(key) == Some(RiskClass::ProvenSafe) {
+            // A trap from a context the analyzer proved safe is an
+            // analyzer soundness bug — count it loudly.
+            self.stats.proven_safe_overflows += 1;
+        }
         let alloc_context = self
             .sampling
             .full_context(key)
@@ -670,6 +711,9 @@ impl Csod {
             .insert((record.ctx_id.as_u32(), u64::MAX, tid.as_u32(), method_tag))
         {
             return;
+        }
+        if self.config.priors.class_of(record.key) == Some(RiskClass::ProvenSafe) {
+            self.stats.proven_safe_overflows += 1;
         }
         let alloc_context = self.sampling.full_context(record.key).unwrap_or_default();
         self.reports.push(OverflowReport {
@@ -1220,6 +1264,70 @@ mod tests {
         assert!(text.contains("smash.c:9"));
         assert!(text.contains("buf.c:3"));
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A fixture whose config carries a static verdict for `site`,
+    /// interned in the same frame table the workload uses.
+    fn priored_fixture(site: &str, class: RiskClass) -> Fixture {
+        use crate::config::AnalysisPriors;
+        let frames = Arc::new(FrameTable::new());
+        let k = key(&frames, site);
+        let config = CsodConfig::with_priors(AnalysisPriors::from_classes([(k, class)]));
+        let mut machine = Machine::new();
+        let heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+        let csod = Csod::new(config, Arc::clone(&frames));
+        Fixture {
+            machine,
+            heap,
+            csod,
+            frames,
+        }
+    }
+
+    #[test]
+    fn proven_safe_prior_denies_the_availability_bypass() {
+        let mut f = priored_fixture("safe.c:1", RiskClass::ProvenSafe);
+        // Without the prior the first object of a fresh context is always
+        // watched ("installation due to availability"); with it, the
+        // context starts at the 0.001% floor and the bypass is denied.
+        let p = malloc(&mut f, "safe.c:1", 64);
+        assert!(!f.csod.is_watched(p), "proven-safe object must not burn a register");
+        let s = f.csod.stats();
+        assert_eq!(s.proven_safe_allocs, 1);
+        assert_eq!(s.proven_safe_installs, 0);
+        assert_eq!(s.prior_availability_skips, 1);
+        assert_eq!(s.proven_safe_overflows, 0);
+    }
+
+    #[test]
+    fn suspicious_prior_objects_are_watched_and_counted() {
+        let mut f = priored_fixture("risky.c:1", RiskClass::Suspicious);
+        // At the 90% boost nearly every object is watched; the first one
+        // is guaranteed through availability regardless of the roll.
+        let p = malloc(&mut f, "risky.c:1", 64);
+        assert!(f.csod.is_watched(p));
+        assert!(f.csod.stats().suspicious_installs >= 1);
+        // An actual overflow from the suspicious context is caught and
+        // does not touch the proven-safe soundness counter.
+        f.machine.app_write(ThreadId::MAIN, p + 64, 8).unwrap();
+        f.csod.poll(&mut f.machine);
+        assert!(f.csod.detected_by_watchpoint());
+        assert_eq!(f.csod.stats().proven_safe_overflows, 0);
+    }
+
+    #[test]
+    fn misclassified_overflow_trips_the_soundness_counter() {
+        let mut f = priored_fixture("wrong.c:1", RiskClass::ProvenSafe);
+        let p = malloc(&mut f, "wrong.c:1", 16);
+        assert!(!f.csod.is_watched(p));
+        // The canary still catches the overflow the watchpoints skipped —
+        // and books it against the analyzer.
+        f.machine.raw_store_u64(p + 16, 0xBAD).unwrap();
+        f.csod
+            .free(&mut f.machine, &mut f.heap, ThreadId::MAIN, p)
+            .unwrap();
+        assert!(f.csod.detected());
+        assert_eq!(f.csod.stats().proven_safe_overflows, 1);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! * **evidence pinning** (Section IV-B): once a corrupted canary proves
 //!   a context overflows, its probability is pinned at 100 %.
 
-use crate::config::SamplingParams;
+use crate::config::{AnalysisPriors, RiskClass, SamplingParams};
 use csod_ctx::{CallingContext, ContextKey, ContextTable, ContextTree, CtxNodeId};
 use csod_rng::{Arc4Random, PPM_SCALE};
 use sim_machine::VirtInstant;
@@ -65,6 +65,9 @@ pub struct CtxState {
     pub watch_count: u64,
     /// Evidence pinning: probability stays at 100 %.
     pub pinned_certain: bool,
+    /// Static verdict from the `csod-analyze` pre-pass, if one was
+    /// loaded for this context.
+    pub prior: Option<RiskClass>,
     window_start: VirtInstant,
     window_allocs: u32,
     burst_until: Option<VirtInstant>,
@@ -97,22 +100,36 @@ pub struct AllocDecision {
     /// for never-watched contexts ("the first few objects"), which keeps
     /// the watched-times count near the context count as in Table IV.
     pub prior_watches: u64,
+    /// Static verdict the unit applied to this context, if any. The
+    /// runtime uses it to deny the availability bypass to proven-safe
+    /// contexts and to account saved watch slots.
+    pub prior: Option<RiskClass>,
 }
 
 /// The Sampling Management Unit.
 #[derive(Debug)]
 pub struct SamplingUnit {
     params: SamplingParams,
+    priors: AnalysisPriors,
     table: ContextTable<CtxState>,
     tree: ContextTree,
     next_id: AtomicU32,
 }
 
 impl SamplingUnit {
-    /// Creates a unit with the given constants.
+    /// Creates a unit with the given constants and no static priors.
     pub fn new(params: SamplingParams) -> Self {
+        SamplingUnit::with_priors(params, AnalysisPriors::none())
+    }
+
+    /// Creates a unit primed with static analysis verdicts: proven-safe
+    /// contexts start at the floor, suspicious contexts start boosted
+    /// and are exempt from burst throttling, unknown contexts follow
+    /// the paper's default schedule.
+    pub fn with_priors(params: SamplingParams, priors: AnalysisPriors) -> Self {
         SamplingUnit {
             params,
+            priors,
             table: ContextTable::new(),
             tree: ContextTree::new(),
             next_id: AtomicU32::new(0),
@@ -122,6 +139,11 @@ impl SamplingUnit {
     /// The sampling constants in effect.
     pub fn params(&self) -> &SamplingParams {
         &self.params
+    }
+
+    /// The static prior table in effect (empty when no analysis ran).
+    pub fn priors(&self) -> &AnalysisPriors {
+        &self.priors
     }
 
     /// Handles one allocation from `key` at virtual time `now`.
@@ -138,6 +160,7 @@ impl SamplingUnit {
         known_overflow: impl FnOnce(&CallingContext) -> bool,
     ) -> AllocDecision {
         let params = self.params;
+        let priors = &self.priors;
         let next_id = &self.next_id;
         let tree = &self.tree;
         self.table.with_entry_tracked(
@@ -145,13 +168,27 @@ impl SamplingUnit {
             || {
                 let full_context = capture_full();
                 let pinned = known_overflow(&full_context);
+                let prior = priors.class_of(key);
+                // Evidence from a real execution outranks a static
+                // verdict: a pinned context starts (and stays) at 100 %
+                // even if the analyzer called it proven-safe.
+                let initial = if pinned {
+                    PPM_SCALE
+                } else {
+                    match prior {
+                        Some(RiskClass::ProvenSafe) => params.floor_ppm,
+                        Some(RiskClass::Suspicious) => priors.suspicious_ppm,
+                        Some(RiskClass::Unknown) | None => params.initial_ppm,
+                    }
+                };
                 CtxState {
                     id: CtxId(next_id.fetch_add(1, Ordering::Relaxed)),
                     node: tree.intern(&full_context),
-                    probability_ppm: if pinned { PPM_SCALE } else { params.initial_ppm },
+                    probability_ppm: initial,
                     alloc_count: 0,
                     watch_count: 0,
                     pinned_certain: pinned,
+                    prior,
                     window_start: now,
                     window_allocs: 0,
                     burst_until: None,
@@ -175,7 +212,11 @@ impl SamplingUnit {
                     }
                 }
                 state.window_allocs += 1;
+                // Suspicious contexts are exempt from burst throttling:
+                // an allocation burst from a statically risky site is
+                // exactly when the watchpoints should stay on it.
                 if !state.pinned_certain
+                    && state.prior != Some(RiskClass::Suspicious)
                     && state.burst_until.is_none()
                     && state.window_allocs > params.burst_threshold
                 {
@@ -227,6 +268,7 @@ impl SamplingUnit {
                     probability_ppm,
                     wants_watch,
                     prior_watches: state.watch_count,
+                    prior: state.prior,
                 }
             },
         )
@@ -523,6 +565,98 @@ mod tests {
             }
         }
         assert!((400..600).contains(&watched), "watched {watched}/1000");
+    }
+
+    #[test]
+    fn proven_safe_prior_starts_at_the_floor() {
+        use crate::config::AnalysisPriors;
+        use crate::config::RiskClass;
+        let frames = FrameTable::new();
+        let k = key(&frames, "safe_site");
+        let priors = AnalysisPriors::from_classes([(k, RiskClass::ProvenSafe)]);
+        let u = SamplingUnit::with_priors(SamplingParams::default(), priors);
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let d = alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        assert!(d.first_seen);
+        assert_eq!(d.probability_ppm, SamplingParams::default().floor_ppm);
+        assert_eq!(d.prior, Some(RiskClass::ProvenSafe));
+        // Contexts without a verdict keep the 50% default.
+        let other = key(&frames, "other_site");
+        let d2 = alloc(&u, other, VirtInstant::BOOT, &mut rng, &frames);
+        assert_eq!(d2.probability_ppm, 500_000);
+        assert_eq!(d2.prior, None);
+    }
+
+    #[test]
+    fn suspicious_prior_boosts_and_skips_burst_throttle() {
+        use crate::config::AnalysisPriors;
+        use crate::config::RiskClass;
+        let frames = FrameTable::new();
+        let k = key(&frames, "risky_site");
+        let priors = AnalysisPriors::from_classes([(k, RiskClass::Suspicious)]);
+        let u = SamplingUnit::with_priors(SamplingParams::default(), priors);
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let d = alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        assert_eq!(d.probability_ppm, AnalysisPriors::DEFAULT_SUSPICIOUS_PPM);
+        assert_eq!(d.prior, Some(RiskClass::Suspicious));
+        // 5,001 allocations in one window would throttle a default
+        // context to 0.0001%; a suspicious context keeps degrading
+        // normally instead.
+        for _ in 0..5_001 {
+            alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        }
+        let p = u.probability_ppm(k).unwrap();
+        assert!(p > SamplingParams::default().burst_ppm, "not throttled: {p}");
+        assert!(
+            p >= AnalysisPriors::DEFAULT_SUSPICIOUS_PPM - 5_002 * 10,
+            "only ordinary degradation applied: {p}"
+        );
+    }
+
+    #[test]
+    fn unknown_prior_follows_default_schedule() {
+        use crate::config::AnalysisPriors;
+        use crate::config::RiskClass;
+        let frames = FrameTable::new();
+        let k = key(&frames, "murky_site");
+        let priors = AnalysisPriors::from_classes([(k, RiskClass::Unknown)]);
+        let u = SamplingUnit::with_priors(SamplingParams::default(), priors);
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let d = alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        assert_eq!(d.probability_ppm, 500_000);
+        assert_eq!(d.prior, Some(RiskClass::Unknown));
+    }
+
+    #[test]
+    fn evidence_outranks_a_proven_safe_prior() {
+        use crate::config::AnalysisPriors;
+        use crate::config::RiskClass;
+        let frames = FrameTable::new();
+        let k = key(&frames, "misjudged_site");
+        let priors = AnalysisPriors::from_classes([(k, RiskClass::ProvenSafe)]);
+        let u = SamplingUnit::with_priors(SamplingParams::default(), priors);
+        let mut rng = Arc4Random::from_seed(1, 0);
+        // The evidence file from a previous run knows this context
+        // overflows: pinning wins over the static verdict.
+        let d = u.on_allocation(
+            k,
+            VirtInstant::BOOT,
+            &mut rng,
+            || ctx(&frames, "misjudged_site"),
+            |_| true,
+        );
+        assert!(d.wants_watch);
+        assert_eq!(d.probability_ppm, PPM_SCALE);
+        // Runtime canary evidence also overrides an already-applied
+        // floor start.
+        let k2 = key(&frames, "misjudged_site_2");
+        let u2 = SamplingUnit::with_priors(
+            SamplingParams::default(),
+            AnalysisPriors::from_classes([(k2, RiskClass::ProvenSafe)]),
+        );
+        alloc(&u2, k2, VirtInstant::BOOT, &mut rng, &frames);
+        u2.pin_certain(k2);
+        assert_eq!(u2.probability_ppm(k2).unwrap(), PPM_SCALE);
     }
 
     #[test]

@@ -68,6 +68,18 @@ pub struct RunSummary {
     pub quarantined_contexts: usize,
     /// Whether the run ended in canary-only mode (backend still down).
     pub canary_only: bool,
+    /// Allocations from contexts the static pre-analysis proved safe.
+    pub proven_safe_allocs: u64,
+    /// Watchpoint installs spent on proven-safe contexts.
+    pub proven_safe_installs: u64,
+    /// Watchpoint installs spent on statically suspicious contexts.
+    pub suspicious_installs: u64,
+    /// Availability bypasses denied on proven-safe contexts — watch
+    /// slots the static priors saved outright.
+    pub prior_availability_skips: u64,
+    /// Soundness counter: overflows from proven-safe contexts. Anything
+    /// but zero is an analyzer bug.
+    pub proven_safe_overflows: u64,
     /// System calls the tool issued.
     pub syscalls: u64,
     /// Normalized overhead of the run so far (Figure 7 metric).
@@ -97,6 +109,11 @@ impl RunSummary {
             recoveries: stats.recoveries,
             quarantined_contexts: csod.quarantined_contexts(machine),
             canary_only: csod.detection_mode() == crate::DetectionMode::CanaryOnly,
+            proven_safe_allocs: stats.proven_safe_allocs,
+            proven_safe_installs: stats.proven_safe_installs,
+            suspicious_installs: stats.suspicious_installs,
+            prior_availability_skips: stats.prior_availability_skips,
+            proven_safe_overflows: stats.proven_safe_overflows,
             syscalls: machine.counter().syscalls(),
             overhead: machine.counter().normalized_overhead(),
         }
@@ -105,6 +122,15 @@ impl RunSummary {
     /// Whether the run found any overflow by any mechanism.
     pub fn found_overflows(&self) -> bool {
         self.reports > 0
+    }
+
+    /// Whether static priors left any trace in this run.
+    pub fn prior_used(&self) -> bool {
+        self.proven_safe_allocs > 0
+            || self.proven_safe_installs > 0
+            || self.suspicious_installs > 0
+            || self.prior_availability_skips > 0
+            || self.proven_safe_overflows > 0
     }
 }
 
@@ -141,6 +167,17 @@ impl fmt::Display for RunSummary {
             self.quarantined_contexts,
             if self.canary_only { "canary-only" } else { "watchpoints" }
         )?;
+        if self.prior_used() {
+            writeln!(
+                f,
+                "priors: {} proven-safe alloc(s), {} install(s) on proven-safe, {} on suspicious, {} slot(s) saved, {} soundness violation(s)",
+                self.proven_safe_allocs,
+                self.proven_safe_installs,
+                self.suspicious_installs,
+                self.prior_availability_skips,
+                self.proven_safe_overflows
+            )?;
+        }
         write!(
             f,
             "cost: {} syscall(s), normalized overhead {:.3}",

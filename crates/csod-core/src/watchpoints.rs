@@ -234,7 +234,9 @@ impl WatchpointManager {
                 // Start at a random slot, then scan forward until a
                 // lower-probability victim is found (Section III-C2).
                 let n = self.slots.len();
-                let start = rng.uniform(n as u32) as usize;
+                // At most a handful of debug registers, so the
+                // conversion never saturates in practice.
+                let start = rng.uniform(u32::try_from(n).unwrap_or(u32::MAX)) as usize;
                 (0..n)
                     .map(|i| (start + i) % n)
                     .find(|&idx| self.loses_to(idx, &candidate, now, &current_ctx_ppm))

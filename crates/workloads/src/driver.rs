@@ -4,6 +4,7 @@ use crate::sites::SiteRegistry;
 use crate::trace::Event;
 use asan_sim::{Asan, AsanConfig};
 use csod_core::{Csod, CsodConfig};
+use csod_ctx::ContextKey;
 use sampler_sim::{Sampler, SamplerConfig};
 use sim_heap::{HeapConfig, SimHeap};
 use sim_machine::{AccessKind, Machine, SiteToken, ThreadId, VirtAddr};
@@ -98,10 +99,26 @@ pub struct RunOutcome {
     pub watched_times: u64,
     /// Watchpoint traps delivered.
     pub traps: u64,
+    /// CSOD with priors: allocations from proven-safe contexts.
+    pub proven_safe_allocs: u64,
+    /// CSOD with priors: watchpoint installs spent on proven-safe
+    /// contexts (the waste the static analysis is meant to cut).
+    pub proven_safe_installs: u64,
+    /// CSOD with priors: installs on statically suspicious contexts.
+    pub suspicious_installs: u64,
+    /// CSOD with priors: availability bypasses denied on proven-safe
+    /// contexts — watch slots the priors saved outright.
+    pub prior_availability_skips: u64,
+    /// CSOD with priors: overflows from proven-safe contexts. Any
+    /// nonzero value is an analyzer soundness bug.
+    pub proven_safe_overflows: u64,
     /// System calls issued.
     pub syscalls: u64,
     /// Rendered bug reports.
     pub reports: Vec<String>,
+    /// CSOD: per-context watch counts at exit, for attributing install
+    /// spending to risk classes regardless of whether priors were on.
+    pub context_watch_counts: Vec<(ContextKey, u64)>,
 }
 
 /// Executes [`Event`]s against a machine, heap and tool.
@@ -478,6 +495,17 @@ impl<'r> TraceRunner<'r> {
                 outcome.distinct_contexts = csod.distinct_contexts();
                 outcome.watched_times = csod.watchpoint_stats().installs;
                 outcome.traps = stats.traps;
+                outcome.proven_safe_allocs = stats.proven_safe_allocs;
+                outcome.proven_safe_installs = stats.proven_safe_installs;
+                outcome.suspicious_installs = stats.suspicious_installs;
+                outcome.prior_availability_skips = stats.prior_availability_skips;
+                outcome.proven_safe_overflows = stats.proven_safe_overflows;
+                outcome.context_watch_counts = csod
+                    .sampling()
+                    .snapshot()
+                    .into_iter()
+                    .map(|(key, state)| (key, state.watch_count))
+                    .collect();
                 outcome.reports = csod
                     .reports()
                     .iter()

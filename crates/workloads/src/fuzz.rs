@@ -33,6 +33,8 @@ pub struct FuzzBug {
     pub kind: AccessKind,
     /// How many out-of-bounds words the overflow touches.
     pub extent: u64,
+    /// Allocation-site index of the overflowed object.
+    pub ctx: usize,
 }
 
 impl FuzzWorkload {
@@ -114,7 +116,11 @@ impl FuzzWorkload {
                         site: bug_site,
                     });
                 }
-                bug = Some(FuzzBug { kind, extent });
+                bug = Some(FuzzBug {
+                    kind,
+                    extent,
+                    ctx: site,
+                });
             }
             live.push((slot, size, thread));
             // Random frees of earlier objects.

@@ -118,6 +118,11 @@ impl SiteRegistry {
         self.alloc_sites.len()
     }
 
+    /// Iterates over all allocation sites in index order.
+    pub fn alloc_sites(&self) -> impl Iterator<Item = &AllocSite> {
+        self.alloc_sites.iter()
+    }
+
     /// Adds an access site living in `module` with a descriptive
     /// innermost frame `label` (e.g. `"memcpy-sse2-unaligned.S:81"`).
     pub fn add_access_site(&mut self, module: &str, label: &str) -> SiteToken {

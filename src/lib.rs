@@ -14,12 +14,15 @@
 //! * [`asan`] — the AddressSanitizer comparison baseline;
 //! * [`sampler`] — the Sampler (MICRO'18) PMU-sampling
 //!   baseline;
-//! * [`workloads`] — the paper's effectiveness and performance workloads.
+//! * [`workloads`] — the paper's effectiveness and performance workloads;
+//! * [`analyze`] — the static overflow-risk pre-analysis that primes
+//!   the sampler with per-context priors.
 //!
 //! Run `cargo run --example quickstart` for a two-minute tour, and see
 //! DESIGN.md / EXPERIMENTS.md for the experiment index.
 
 pub use asan_sim as asan;
+pub use csod_analyze as analyze;
 pub use sampler_sim as sampler;
 pub use csod_core as core;
 pub use csod_ctx as ctx;

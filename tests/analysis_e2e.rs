@@ -1,0 +1,121 @@
+//! End-to-end tests of the static-analysis → priors → runtime loop:
+//! analyze a workload offline, feed the resulting [`AnalysisPriors`]
+//! into CSOD, and check the run is cheaper (fewer watch slots burned on
+//! proven-safe contexts), no less effective, and sound (zero overflows
+//! from proven-safe contexts).
+
+use csod::analyze::{analyze, RiskReport};
+use csod::core::{AnalysisPriors, CsodConfig, RiskClass};
+use csod::workloads::{BuggyApp, RunOutcome, ToolSpec, TraceRunner};
+
+fn run(app: &BuggyApp, priors: Option<AnalysisPriors>, seed: u64) -> RunOutcome {
+    let registry = app.registry();
+    let trace = app.trace(42);
+    let mut config = match priors {
+        Some(p) => CsodConfig::with_priors(p),
+        None => CsodConfig::default(),
+    };
+    config.seed = seed;
+    TraceRunner::new(&registry, ToolSpec::Csod(config)).run(trace.iter().copied())
+}
+
+fn priors_of(app: &BuggyApp) -> AnalysisPriors {
+    let registry = app.registry();
+    analyze(&registry, &app.trace(42)).to_priors(&registry)
+}
+
+#[test]
+fn soundness_counter_stays_zero_on_every_app() {
+    for app in BuggyApp::all() {
+        let priors = priors_of(&app);
+        for seed in 0..8 {
+            let outcome = run(&app, Some(priors.clone()), seed);
+            assert_eq!(
+                outcome.proven_safe_overflows, 0,
+                "{} seed {seed}: overflow from a proven-safe context",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn priors_cut_proven_safe_installs_by_a_quarter() {
+    // Aggregate across the suite: installs landing on contexts the
+    // analyzer proved safe must drop by >= 25% once priors are on.
+    let mut baseline_safe = 0u64;
+    let mut primed_safe = 0u64;
+    for app in BuggyApp::all() {
+        let priors = priors_of(&app);
+        for seed in 0..4 {
+            let default_outcome = run(&app, None, seed);
+            baseline_safe += default_outcome
+                .context_watch_counts
+                .iter()
+                .filter(|(key, _)| priors.class_of(*key) == Some(RiskClass::ProvenSafe))
+                .map(|(_, count)| count)
+                .sum::<u64>();
+            let primed_outcome = run(&app, Some(priors.clone()), seed);
+            primed_safe += primed_outcome.proven_safe_installs;
+            // Cross-check the two accounting paths agree.
+            let primed_snapshot: u64 = primed_outcome
+                .context_watch_counts
+                .iter()
+                .filter(|(key, _)| priors.class_of(*key) == Some(RiskClass::ProvenSafe))
+                .map(|(_, count)| count)
+                .sum();
+            assert_eq!(primed_snapshot, primed_outcome.proven_safe_installs);
+        }
+    }
+    assert!(
+        baseline_safe > 0,
+        "baseline must spend some installs on proven-safe contexts"
+    );
+    assert!(
+        primed_safe * 4 <= baseline_safe * 3,
+        "priors saved too little: {primed_safe} vs baseline {baseline_safe}"
+    );
+}
+
+#[test]
+fn priors_report_savings_in_the_run_summary_counters() {
+    let app = BuggyApp::by_name("mysql").unwrap();
+    let outcome = run(&app, Some(priors_of(&app)), 1);
+    assert!(
+        outcome.prior_availability_skips > 0,
+        "proven-safe contexts must skip the availability bypass"
+    );
+    assert!(outcome.proven_safe_allocs > 0);
+}
+
+#[test]
+fn report_round_trips_to_disk_and_back_into_priors() {
+    let app = BuggyApp::by_name("heartbleed").unwrap();
+    let registry = app.registry();
+    let report = analyze(&registry, &app.trace(42));
+    let dir = std::env::temp_dir().join("csod-analysis-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("heartbleed.tsv");
+    report.save(&path).unwrap();
+    let loaded = RiskReport::load(&path, &registry).unwrap();
+    assert_eq!(loaded, report);
+    let outcome = run(&app, Some(loaded.to_priors(&registry)), 3);
+    assert_eq!(outcome.proven_safe_overflows, 0);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn suspicious_contexts_are_watched_more_than_default() {
+    // The planted bug context is the one suspicious site; with priors
+    // on it should be watched in (nearly) every execution.
+    let app = BuggyApp::by_name("memcached").unwrap();
+    let priors = priors_of(&app);
+    let runs: usize = 24;
+    let primed_hits = (0..runs)
+        .filter(|&seed| run(&app, Some(priors.clone()), seed as u64).suspicious_installs > 0)
+        .count();
+    assert!(
+        primed_hits * 10 >= runs * 8,
+        "suspicious context watched in only {primed_hits}/{runs} runs"
+    );
+}

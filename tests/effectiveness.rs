@@ -1,6 +1,7 @@
 //! Statistical effectiveness invariants (Table II shape), verified with
 //! reduced execution counts so the suite stays fast.
 
+use csod::analyze::analyze;
 use csod::core::{CsodConfig, ReplacementPolicy};
 use csod::workloads::{BuggyApp, ToolSpec, TraceRunner};
 
@@ -104,6 +105,42 @@ fn average_detection_rate_is_in_the_paper_range() {
         (0.40..=0.80).contains(&avg),
         "average detection rate {avg:.2} far from the paper's 0.58"
     );
+}
+
+#[test]
+fn analysis_priors_never_cost_detections() {
+    // Priming the sampler with static verdicts must detect every
+    // planted overflow the default schedule detects — same or better
+    // count per app, since the bug context starts boosted and the
+    // proven-safe contexts stop competing for watch slots.
+    let runs = 40;
+    for app in BuggyApp::all() {
+        let registry = app.registry();
+        let trace = app.trace(42);
+        let priors = analyze(&registry, &trace).to_priors(&registry);
+        let count = |primed: bool| -> u64 {
+            (0..runs)
+                .filter(|&seed| {
+                    let mut config = if primed {
+                        CsodConfig::with_priors(priors.clone())
+                    } else {
+                        CsodConfig::default()
+                    };
+                    config.seed = seed;
+                    TraceRunner::new(&registry, ToolSpec::Csod(config))
+                        .run(trace.iter().copied())
+                        .watchpoint_detected
+                })
+                .count() as u64
+        };
+        let default_count = count(false);
+        let primed_count = count(true);
+        assert!(
+            primed_count >= default_count,
+            "{}: priors lost detections ({primed_count} < {default_count} of {runs})",
+            app.name
+        );
+    }
 }
 
 #[test]

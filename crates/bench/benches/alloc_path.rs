@@ -30,7 +30,7 @@ fn bench_alloc_path(c: &mut Criterion) {
         let key = ContextKey::new(ctx.first_level().unwrap(), 0x40);
         b.iter(|| {
             let p = csod
-                .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || ctx.clone())
+                .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, &ctx)
                 .unwrap();
             csod.free(&mut machine, &mut heap, ThreadId::MAIN, p).unwrap();
         });
@@ -45,7 +45,7 @@ fn bench_alloc_path(c: &mut Criterion) {
         let key = ContextKey::new(ctx.first_level().unwrap(), 0x40);
         b.iter(|| {
             let p = csod
-                .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || ctx.clone())
+                .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, &ctx)
                 .unwrap();
             csod.free(&mut machine, &mut heap, ThreadId::MAIN, p).unwrap();
         });
@@ -79,7 +79,7 @@ fn bench_alloc_path(c: &mut Criterion) {
                 (machine, heap, csod, ctx, key)
             },
             |(mut machine, mut heap, mut csod, ctx, key)| {
-                csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || ctx.clone())
+                csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, &ctx)
                     .unwrap()
             },
             BatchSize::SmallInput,

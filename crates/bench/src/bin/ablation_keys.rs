@@ -39,7 +39,7 @@ fn decisive_probability(collide: bool, hot_allocs: u64, seed: u64) -> f64 {
             hot_key,
             VirtInstant::BOOT,
             &mut rng,
-            || hot_ctx.clone(),
+            &hot_ctx,
             |_| false,
         );
         if d.wants_watch {
@@ -50,7 +50,7 @@ fn decisive_probability(collide: bool, hot_allocs: u64, seed: u64) -> f64 {
         bug_key,
         VirtInstant::BOOT,
         &mut rng,
-        || bug_ctx.clone(),
+        &bug_ctx,
         |_| false,
     );
     f64::from(decision.probability_ppm) / 1e6

@@ -49,9 +49,7 @@ fn main() {
 
     // The heartbeat payload claims to be much larger than the buffer.
     let payload = csod
-        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || {
-            alloc_ctx.clone()
-        })
+        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, &alloc_ctx)
         .expect("allocation fits");
     machine.set_current_site(ThreadId::MAIN, overflow_site);
     machine

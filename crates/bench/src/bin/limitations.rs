@@ -193,7 +193,7 @@ fn heap_scenario(
     let ctx = CallingContext::from_locations(&frames, ["obj.c:1", "main.c:1"]);
     let key = ContextKey::new(frames.intern("obj.c:1"), 0x40);
     let p = csod
-        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || ctx)
+        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, &ctx)
         .unwrap();
     assert!(csod.is_watched(p), "first object is always watched");
     machine.set_current_site(ThreadId::MAIN, SiteToken(0));

@@ -208,6 +208,7 @@ impl fmt::Display for Interval {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::ops::Add;
 
     #[test]
     fn join_is_commutative_and_contains_both() {

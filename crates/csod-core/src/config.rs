@@ -117,6 +117,42 @@ impl Default for SamplingParams {
     }
 }
 
+/// Tuning knobs for the per-allocation fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastPathParams {
+    /// Sampling decisions per context a thread may serve from its
+    /// decision cache before consulting the shared table again.
+    /// `1` disables memoization (every decision takes the table lock —
+    /// the pre-cache behaviour, kept as a bench comparison mode).
+    /// Probability-changing events invalidate caches immediately
+    /// regardless of this interval; it only bounds how long plain
+    /// degradation drift can accumulate (`refresh × 10 ppm` with the
+    /// paper constants).
+    pub decision_cache_refresh: u32,
+}
+
+impl FastPathParams {
+    /// The default refresh interval: 64 decisions per context between
+    /// authoritative table reads, a worst-case drift of 640 ppm against
+    /// an initial probability of 500,000 ppm.
+    pub const DEFAULT_REFRESH: u32 = 64;
+
+    /// Parameters with the decision cache disabled (`refresh == 1`).
+    pub fn uncached() -> Self {
+        FastPathParams {
+            decision_cache_refresh: 1,
+        }
+    }
+}
+
+impl Default for FastPathParams {
+    fn default() -> Self {
+        FastPathParams {
+            decision_cache_refresh: Self::DEFAULT_REFRESH,
+        }
+    }
+}
+
 /// Static risk verdict for one allocation calling context, produced by
 /// the `csod-analyze` pre-pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -249,6 +285,8 @@ pub struct CsodConfig {
     pub evidence: bool,
     /// Adaptive-sampling constants.
     pub sampling: SamplingParams,
+    /// Allocation fast-path tuning (per-thread decision caches).
+    pub fast_path: FastPathParams,
     /// Per-context risk priors from the `csod-analyze` static pre-pass.
     /// Empty by default — the purely dynamic schedule of the paper.
     pub priors: AnalysisPriors,
@@ -277,6 +315,7 @@ impl Default for CsodConfig {
             watchpoint_slots: 4,
             evidence: true,
             sampling: SamplingParams::default(),
+            fast_path: FastPathParams::default(),
             priors: AnalysisPriors::none(),
             degradation: DegradationParams::default(),
             watch_age_decay: VirtDuration::from_secs(10),
@@ -354,6 +393,12 @@ impl CsodConfig {
                 "reviving to {} ppm below the floor ({} ppm) is a no-op",
                 s.revive_ppm, s.floor_ppm
             ));
+        }
+        if self.fast_path.decision_cache_refresh == 0 {
+            return Err(
+                "a decision-cache refresh of 0 would never consult the sampler; use 1 to disable caching"
+                    .into(),
+            );
         }
         if !self.priors.is_empty() {
             if self.priors.suspicious_ppm > PPM_SCALE {
@@ -465,6 +510,24 @@ mod tests {
             ..DegradationParams::default()
         });
         assert!(inverted_backoff.validate().unwrap_err().contains("backoff"));
+        let zero_refresh = CsodConfig {
+            fast_path: FastPathParams {
+                decision_cache_refresh: 0,
+            },
+            ..CsodConfig::default()
+        };
+        assert!(zero_refresh.validate().unwrap_err().contains("refresh"));
+    }
+
+    #[test]
+    fn fast_path_defaults_and_uncached_mode() {
+        assert_eq!(FastPathParams::default().decision_cache_refresh, 64);
+        assert_eq!(FastPathParams::uncached().decision_cache_refresh, 1);
+        let uncached = CsodConfig {
+            fast_path: FastPathParams::uncached(),
+            ..CsodConfig::default()
+        };
+        assert_eq!(uncached.validate(), Ok(()));
     }
 
     #[test]

@@ -29,11 +29,14 @@
 #![warn(missing_debug_implementations)]
 #![warn(clippy::cast_possible_truncation)]
 #![warn(clippy::missing_panics_doc)]
+#![warn(clippy::perf)]
 
 mod canary;
 mod config;
+mod decision_cache;
 mod degradation;
 mod evidence;
+mod fastmap;
 mod policy;
 mod report;
 mod runtime;
@@ -43,8 +46,11 @@ mod watchpoints;
 
 pub use canary::{CanaryStatus, CanaryUnit, ObjectHeader, ObjectLayout, CANARY_SIZE, HEADER_SIZE, OBJECT_IDENTIFIER};
 pub use config::{
-    paper, AnalysisPriors, CsodConfig, ParseRiskClassError, RiskClass, SamplingParams, WatchBackend,
+    paper, AnalysisPriors, CsodConfig, FastPathParams, ParseRiskClassError, RiskClass,
+    SamplingParams, WatchBackend,
 };
+pub use decision_cache::{DecisionCache, DecisionCacheStats};
+pub use fastmap::{FastKey, FastMap};
 pub use degradation::{
     DegradationManager, DegradationParams, DegradationStats, DetectionMode, FailureVerdict,
 };

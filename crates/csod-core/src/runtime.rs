@@ -8,19 +8,21 @@
 
 use crate::canary::{CanaryStatus, CanaryUnit, ObjectLayout, HEADER_SIZE};
 use crate::config::{CsodConfig, RiskClass};
+use crate::decision_cache::{DecisionCache, DecisionCacheStats};
 use crate::degradation::{DegradationManager, DegradationStats, DetectionMode};
 use crate::evidence::EvidenceStore;
+use crate::fastmap::FastMap;
 use crate::report::{DetectionMethod, OverflowReport};
 use crate::sampling::{CtxId, SamplingUnit};
 use crate::watchpoints::{InstallOutcome, WatchCandidate, WatchpointManager};
 use csod_ctx::{CallingContext, ContextKey, FrameTable};
-use csod_rng::Arc4Random;
+use csod_rng::{Arc4Random, RngSlots};
 use sim_heap::{HeapError, SimHeap};
 use sim_machine::{
     AccessKind, CostDomain, Machine, MemoryError, Signal, SignalInfo, SiteToken, ThreadId,
     VirtAddr,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
@@ -142,7 +144,7 @@ pub struct CsodStats {
 /// let site = SiteToken(1);
 /// csod.register_site(site, CallingContext::from_locations(&frames, ["memcpy.S:81", "app.c:22"]));
 ///
-/// let p = csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || alloc_ctx.clone())?;
+/// let p = csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, &alloc_ctx)?;
 /// // With all four registers free the very first object is watched.
 /// machine.set_current_site(ThreadId::MAIN, site);
 /// machine.app_write(ThreadId::MAIN, p + 64, 8)?; // one word past the object
@@ -161,9 +163,18 @@ pub struct Csod {
     degradation: DegradationManager,
     canary: CanaryUnit,
     evidence: EvidenceStore,
-    rngs: HashMap<ThreadId, Arc4Random>,
-    records: HashMap<u64, AllocationRecord>,
-    sites: HashMap<u64, CallingContext>,
+    /// Per-thread sampling generators, slot = dense thread id. No
+    /// hashing on the draw path.
+    rngs: RngSlots,
+    /// Per-thread decision caches, slot = dense thread id. Memoize
+    /// sampling verdicts so the shared context table is consulted only
+    /// every `fast_path.decision_cache_refresh` allocations per context
+    /// (or immediately after a probability-changing event).
+    caches: Vec<DecisionCache>,
+    /// Live objects keyed by user pointer — probed on every free.
+    records: FastMap<u64, AllocationRecord>,
+    /// Full calling contexts behind workload site tokens.
+    sites: FastMap<u64, CallingContext>,
     reports: Vec<OverflowReport>,
     /// Dedup set: (ctx id, site token, thread, method tag).
     reported: HashSet<(u32, u64, u32, u8)>,
@@ -210,9 +221,10 @@ impl Csod {
             degradation: DegradationManager::new(config.degradation, config.watchpoint_slots),
             canary,
             evidence,
-            rngs: HashMap::new(),
-            records: HashMap::new(),
-            sites: HashMap::new(),
+            rngs: RngSlots::new(config.seed),
+            caches: Vec::new(),
+            records: FastMap::new(),
+            sites: FastMap::new(),
             reports: Vec::new(),
             reported: HashSet::new(),
             stats: CsodStats::default(),
@@ -243,9 +255,9 @@ impl Csod {
 
     /// Interposed `malloc`.
     ///
-    /// `capture_full` provides the full allocation calling context; it is
-    /// invoked (and the `backtrace` cost charged) only the first time
-    /// `key` is seen.
+    /// `ctx` is the full allocation calling context, borrowed — it is
+    /// interned (and the `backtrace` cost charged) only the first time
+    /// `key` is seen; steady-state allocations never copy it.
     ///
     /// # Errors
     ///
@@ -257,9 +269,9 @@ impl Csod {
         tid: ThreadId,
         size: u64,
         key: ContextKey,
-        capture_full: impl FnOnce() -> CallingContext,
+        ctx: &CallingContext,
     ) -> Result<VirtAddr, CsodError> {
-        let decision = self.intercept_allocation(machine, tid, key, capture_full);
+        let decision = self.intercept_allocation(machine, tid, key, ctx);
 
         // Lay the object out (header + canary in evidence mode, a bare
         // boundary word otherwise) and allocate.
@@ -307,12 +319,12 @@ impl Csod {
         align: u64,
         size: u64,
         key: ContextKey,
-        capture_full: impl FnOnce() -> CallingContext,
+        ctx: &CallingContext,
     ) -> Result<VirtAddr, CsodError> {
         if !align.is_power_of_two() {
             return Err(CsodError::Heap(HeapError::BadAlignment(align)));
         }
-        let decision = self.intercept_allocation(machine, tid, key, capture_full);
+        let decision = self.intercept_allocation(machine, tid, key, ctx);
 
         let layout = ObjectLayout::new(self.config.evidence, size);
         // Push the user pointer to an aligned offset that still leaves
@@ -366,9 +378,9 @@ impl Csod {
         tid: ThreadId,
         size: u64,
         key: ContextKey,
-        capture_full: impl FnOnce() -> CallingContext,
+        ctx: &CallingContext,
     ) -> Result<VirtAddr, CsodError> {
-        let user = self.malloc(machine, heap, tid, size, key, capture_full)?;
+        let user = self.malloc(machine, heap, tid, size, key, ctx)?;
         machine.raw_fill(user, size.max(1), 0)?;
         Ok(user)
     }
@@ -390,13 +402,13 @@ impl Csod {
         user: VirtAddr,
         new_size: u64,
         key: ContextKey,
-        capture_full: impl FnOnce() -> CallingContext,
+        ctx: &CallingContext,
     ) -> Result<VirtAddr, CsodError> {
         let old = *self
             .records
-            .get(&user.as_u64())
+            .get(user.as_u64())
             .ok_or(CsodError::UnknownPointer(user))?;
-        let new_user = self.malloc(machine, heap, tid, new_size, key, capture_full)?;
+        let new_user = self.malloc(machine, heap, tid, new_size, key, ctx)?;
         // Object sizes fit the host address space; a saturated copy
         // would fail at the allocation below long before wrapping.
         let copy = usize::try_from(old.requested.min(new_size)).unwrap_or(usize::MAX);
@@ -411,33 +423,32 @@ impl Csod {
 
     /// Shared allocation prologue: fast-path costs (return-address
     /// fetch, hash lookup, one random draw — Section V-B) and the
-    /// sampling decision, with the full-backtrace cost charged exactly
-    /// when the context is first seen.
+    /// sampling decision — served from the calling thread's decision
+    /// cache when the memoized verdict is still valid, from the shared
+    /// sampling unit otherwise. The full-backtrace cost is charged
+    /// exactly when the context is first seen.
     fn intercept_allocation(
         &mut self,
         machine: &mut Machine,
         tid: ThreadId,
         key: ContextKey,
-        capture_full: impl FnOnce() -> CallingContext,
+        ctx: &CallingContext,
     ) -> crate::sampling::AllocDecision {
         let costs = machine.costs();
         let fast_path = costs.return_address + costs.ctx_lookup + costs.rng_draw;
         machine.charge(CostDomain::Tool, fast_path);
 
-        let seed = self.config.seed;
-        let rng = self
-            .rngs
-            .entry(tid)
-            .or_insert_with(|| Arc4Random::from_seed(seed, u64::from(tid.as_u32())));
+        let rng = self.rngs.get(tid.as_u32());
+        let cache = Self::cache_for(
+            &mut self.caches,
+            self.config.fast_path.decision_cache_refresh,
+            tid,
+        );
         let evidence = &self.evidence;
         let frames = &self.frames;
-        let decision = self.sampling.on_allocation(
-            key,
-            machine.now(),
-            rng,
-            capture_full,
-            |full| evidence.contains(full, frames),
-        );
+        let decision = cache.on_allocation(&self.sampling, key, machine.now(), rng, ctx, |full| {
+            evidence.contains(full, frames)
+        });
         if decision.first_seen {
             machine.charge(CostDomain::Tool, machine.costs().full_backtrace);
         }
@@ -446,6 +457,15 @@ impl Csod {
             self.stats.proven_safe_allocs += 1;
         }
         decision
+    }
+
+    /// The decision cache of thread `tid`, created on first use.
+    fn cache_for(caches: &mut Vec<DecisionCache>, refresh: u32, tid: ThreadId) -> &mut DecisionCache {
+        let i = tid.as_u32() as usize;
+        while caches.len() <= i {
+            caches.push(DecisionCache::new(refresh));
+        }
+        &mut caches[i]
     }
 
     /// Shared allocation epilogue: the watch attempt — the sampler's
@@ -511,11 +531,7 @@ impl Csod {
             return InstallOutcome::Rejected;
         }
         let sampling = &self.sampling;
-        let seed = self.config.seed;
-        let rng = self
-            .rngs
-            .entry(tid)
-            .or_insert_with(|| Arc4Random::from_seed(seed, u64::from(tid.as_u32())));
+        let rng = self.rngs.get(tid.as_u32());
         let outcome = self
             .watchpoints
             .consider(machine, candidate, rng, |k| sampling.probability_ppm(k));
@@ -546,7 +562,7 @@ impl Csod {
     fn retry_installs(&mut self, machine: &mut Machine) {
         let due = self.degradation.due_retries(machine.now());
         for (candidate, attempts) in due {
-            if !self.records.contains_key(&candidate.object_start.as_u64())
+            if !self.records.contains(candidate.object_start.as_u64())
                 || self.watchpoints.is_watched(candidate.object_start)
             {
                 continue;
@@ -577,7 +593,7 @@ impl Csod {
     ) -> Result<(), CsodError> {
         let record = self
             .records
-            .remove(&user.as_u64())
+            .remove(user.as_u64())
             .ok_or(CsodError::UnknownPointer(user))?;
         self.stats.frees += 1;
 
@@ -609,8 +625,9 @@ impl Csod {
         tid
     }
 
-    /// Thread-exit interception: drops per-thread state; the kernel
-    /// closes the thread's perf events.
+    /// Thread-exit interception: flushes the thread's decision cache
+    /// into the sampler and drops per-thread state; the kernel closes
+    /// the thread's perf events.
     ///
     /// # Errors
     ///
@@ -621,7 +638,10 @@ impl Csod {
         tid: ThreadId,
     ) -> Result<(), sim_machine::ThreadError> {
         self.watchpoints.forget_thread(tid);
-        self.rngs.remove(&tid);
+        if let Some(cache) = self.caches.get_mut(tid.as_u32() as usize) {
+            cache.flush(&self.sampling);
+        }
+        self.rngs.release(tid.as_u32());
         machine.exit_thread(tid)
     }
 
@@ -675,7 +695,7 @@ impl Csod {
             .sampling
             .full_context(key)
             .unwrap_or_default();
-        let overflow_site = self.sites.get(&sig.site.0).cloned();
+        let overflow_site = self.sites.get(sig.site.0).cloned();
         self.reports.push(OverflowReport {
             kind: sig.access,
             method: DetectionMethod::Watchpoint,
@@ -733,7 +753,8 @@ impl Csod {
         if !self.config.evidence {
             return;
         }
-        let records: Vec<AllocationRecord> = self.records.values().copied().collect();
+        let mut records: Vec<AllocationRecord> = Vec::with_capacity(self.records.len());
+        self.records.for_each(|_, r| records.push(*r));
         for record in records {
             machine.charge(CostDomain::Tool, machine.costs().canary_check);
             if let Ok(CanaryStatus::Corrupted { .. }) = self.canary.check(machine, record.canary_addr)
@@ -746,29 +767,32 @@ impl Csod {
 
     // ----- Termination Handling Unit --------------------------------------------------
 
-    /// End of execution: drains signals, sweeps all live canaries,
-    /// removes every watchpoint, and persists the evidence store.
-    /// Idempotent.
+    /// End of execution: flushes every thread's decision cache into the
+    /// sampler, drains signals, sweeps all live canaries, removes every
+    /// watchpoint, and persists the evidence store. Idempotent.
     pub fn finish(&mut self, machine: &mut Machine) {
         if self.finished {
             return;
         }
         self.finished = true;
+        for cache in &mut self.caches {
+            cache.flush(&self.sampling);
+        }
         self.poll(machine);
         self.sweep_canaries(machine);
         self.watchpoints.remove_all(machine);
-        if let Some(path) = self.config.evidence_path.clone() {
+        if let Some(path) = self.config.evidence_path.as_deref() {
             // Persisting evidence must never crash the host program.
-            let _ = self.evidence.save(&path);
+            let _ = self.evidence.save(path);
         }
-        if let Some(path) = self.config.report_path.clone() {
+        if let Some(path) = self.config.report_path.as_deref() {
             let mut text = String::new();
             for report in &self.reports {
                 text.push_str(&report.render(&self.frames));
                 text.push('\n');
             }
             // Like evidence, report logging is best-effort.
-            let _ = std::fs::write(&path, text);
+            let _ = std::fs::write(path, text);
         }
     }
 
@@ -850,7 +874,19 @@ impl Csod {
 
     /// The requested size of the live CSOD-managed object at `user`.
     pub fn object_size(&self, user: VirtAddr) -> Option<u64> {
-        self.records.get(&user.as_u64()).map(|r| r.requested)
+        self.records.get(user.as_u64()).map(|r| r.requested)
+    }
+
+    /// Aggregate decision-cache counters across all threads.
+    pub fn decision_cache_stats(&self) -> DecisionCacheStats {
+        let mut total = DecisionCacheStats::default();
+        for cache in &self.caches {
+            let s = cache.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.invalidations += s.invalidations;
+        }
+        total
     }
 
     /// The per-object memory overhead in bytes for an object of
@@ -900,7 +936,7 @@ mod tests {
         let k = key(&f.frames, site);
         let c = ctx(&f.frames, site);
         f.csod
-            .malloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, size, k, || c)
+            .malloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, size, k, &c)
             .unwrap()
     }
 
@@ -1110,7 +1146,7 @@ mod tests {
         let c = ctx(&f.frames, "aligned.c:1");
         let p = f
             .csod
-            .memalign(&mut f.machine, &mut f.heap, ThreadId::MAIN, 4096, 100, k, || c)
+            .memalign(&mut f.machine, &mut f.heap, ThreadId::MAIN, 4096, 100, k, &c)
             .unwrap();
         assert!(p.is_aligned(4096));
         // Header readable via the canary unit (RealObjectPtr supports it).
@@ -1171,7 +1207,7 @@ mod tests {
         let c = ctx(&f.frames, "z.c:1");
         let p = f
             .csod
-            .calloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, 64, k, || c)
+            .calloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, 64, k, &c)
             .unwrap();
         assert_eq!(f.machine.raw_load_u64(p).unwrap(), 0);
         assert_eq!(f.machine.raw_load_u64(p + 56).unwrap(), 0);
@@ -1190,12 +1226,12 @@ mod tests {
         let c = ctx(&f.frames, "r.c:1");
         let p = f
             .csod
-            .malloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, 16, k, || c.clone())
+            .malloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, 16, k, &c)
             .unwrap();
         f.machine.raw_store_u64(p, 0xFEED).unwrap();
         let q = f
             .csod
-            .realloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, p, 256, k, || c.clone())
+            .realloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, p, 256, k, &c)
             .unwrap();
         assert_eq!(f.machine.raw_load_u64(q).unwrap(), 0xFEED);
         assert_ne!(p, q);
@@ -1217,14 +1253,14 @@ mod tests {
         let c = ctx(&f.frames, "r2.c:1");
         let p = f
             .csod
-            .malloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, 24, k, || c.clone())
+            .malloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, 24, k, &c)
             .unwrap();
         // Corrupt the canary silently, then realloc: the embedded free
         // must catch the evidence.
         f.machine.raw_store_u64(p + 24, 0xBAD).unwrap();
         let _q = f
             .csod
-            .realloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, p, 64, k, || c.clone())
+            .realloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, p, 64, k, &c)
             .unwrap();
         assert_eq!(f.csod.stats().canary_free_hits, 1);
     }
@@ -1237,7 +1273,7 @@ mod tests {
         let bogus = VirtAddr::new(0x42);
         assert_eq!(
             f.csod
-                .realloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, bogus, 10, k, || c)
+                .realloc(&mut f.machine, &mut f.heap, ThreadId::MAIN, bogus, 10, k, &c)
                 .unwrap_err(),
             CsodError::UnknownPointer(bogus)
         );

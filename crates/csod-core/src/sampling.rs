@@ -25,7 +25,7 @@ use csod_ctx::{CallingContext, ContextKey, ContextTable, ContextTree, CtxNodeId}
 use csod_rng::{Arc4Random, PPM_SCALE};
 use sim_machine::VirtInstant;
 use std::fmt;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Dense identifier assigned to each distinct calling context.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -106,6 +106,24 @@ pub struct AllocDecision {
     pub prior: Option<RiskClass>,
 }
 
+/// Probability in ppm of at least one success across `n` independent
+/// Bernoulli trials of per-trial probability `p_ppm`:
+/// `1 − (1 − p)^n`. Used so one batched decision gives time-gated
+/// random events (reviving) the same expected frequency as `n`
+/// individual decisions.
+fn compound_chance_ppm(p_ppm: u32, n: u32) -> u32 {
+    if n <= 1 || p_ppm >= PPM_SCALE {
+        return p_ppm.min(PPM_SCALE);
+    }
+    let scale = u64::from(PPM_SCALE);
+    let q = scale - u64::from(p_ppm);
+    let mut miss_all = scale;
+    for _ in 0..n {
+        miss_all = miss_all * q / scale;
+    }
+    u32::try_from(scale - miss_all).expect("result is at most PPM_SCALE")
+}
+
 /// The Sampling Management Unit.
 #[derive(Debug)]
 pub struct SamplingUnit {
@@ -114,6 +132,14 @@ pub struct SamplingUnit {
     table: ContextTable<CtxState>,
     tree: ContextTree,
     next_id: AtomicU32,
+    /// Probability-epoch counter. Bumped by every event that can change
+    /// a context's watch probability outside the plain per-allocation
+    /// degradation: a watch install ([`SamplingUnit::on_watched`]),
+    /// evidence pinning, quarantine, burst-throttle entry and exit,
+    /// reviving, and a priors update. Per-thread decision caches
+    /// compare this against the epoch they were filled at and drop
+    /// every memoized verdict on mismatch.
+    epoch: AtomicU64,
 }
 
 impl SamplingUnit {
@@ -133,6 +159,7 @@ impl SamplingUnit {
             table: ContextTable::new(),
             tree: ContextTree::new(),
             next_id: AtomicU32::new(0),
+            epoch: AtomicU64::new(0),
         }
     }
 
@@ -146,28 +173,85 @@ impl SamplingUnit {
         &self.priors
     }
 
+    /// The current probability epoch. Any change to this value means
+    /// memoized sampling verdicts may be stale and must be refreshed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Replaces the static priors at run time (e.g. a `csod-analyze`
+    /// report arriving after start-up) and re-bases every already-seen
+    /// context that gained a verdict: proven-safe contexts drop to the
+    /// floor, suspicious contexts are boosted to at least the
+    /// suspicious level. Evidence pinning still outranks both. Bumps
+    /// the probability epoch so decision caches refresh.
+    pub fn update_priors(&mut self, priors: AnalysisPriors) {
+        let params = self.params;
+        self.table.for_each_mut(|key, state| {
+            let class = priors.class_of(key);
+            state.prior = class;
+            if state.pinned_certain {
+                return;
+            }
+            match class {
+                Some(RiskClass::ProvenSafe) => {
+                    state.probability_ppm = params.floor_ppm;
+                }
+                Some(RiskClass::Suspicious) => {
+                    state.probability_ppm = state.probability_ppm.max(priors.suspicious_ppm);
+                }
+                Some(RiskClass::Unknown) | None => {}
+            }
+        });
+        self.priors = priors;
+        self.bump_epoch();
+    }
+
     /// Handles one allocation from `key` at virtual time `now`.
     ///
-    /// `capture_full` is invoked only when the key is new (the expensive
-    /// `backtrace`); `known_overflow` is consulted at the same moment to
-    /// pre-pin contexts recorded by a previous execution's evidence file.
+    /// `ctx` is the full backtrace; it is interned (and `known_overflow`
+    /// consulted, to pre-pin contexts recorded by a previous execution's
+    /// evidence file) only when the key is new, so the caller charges
+    /// the expensive `backtrace` cost exactly when
+    /// [`AllocDecision::first_seen`] comes back `true`.
     pub fn on_allocation(
         &self,
         key: ContextKey,
         now: VirtInstant,
         rng: &mut Arc4Random,
-        capture_full: impl FnOnce() -> CallingContext,
+        ctx: &CallingContext,
         known_overflow: impl FnOnce(&CallingContext) -> bool,
+    ) -> AllocDecision {
+        self.on_allocation_batched(key, now, rng, ctx, known_overflow, 0)
+    }
+
+    /// Like [`SamplingUnit::on_allocation`], but first absorbs `pending`
+    /// earlier allocations from the same context that bypassed the table
+    /// through a per-thread decision cache: their per-allocation
+    /// degradation and burst-window counts are applied in one step
+    /// before this allocation's decision is made.
+    pub fn on_allocation_batched(
+        &self,
+        key: ContextKey,
+        now: VirtInstant,
+        rng: &mut Arc4Random,
+        ctx: &CallingContext,
+        known_overflow: impl FnOnce(&CallingContext) -> bool,
+        pending: u32,
     ) -> AllocDecision {
         let params = self.params;
         let priors = &self.priors;
         let next_id = &self.next_id;
         let tree = &self.tree;
+        let epoch = &self.epoch;
         self.table.with_entry_tracked(
             key,
             || {
-                let full_context = capture_full();
-                let pinned = known_overflow(&full_context);
+                let pinned = known_overflow(ctx);
                 let prior = priors.class_of(key);
                 // Evidence from a real execution outranks a static
                 // verdict: a pinned context starts (and stays) at 100 %
@@ -183,7 +267,7 @@ impl SamplingUnit {
                 };
                 CtxState {
                     id: CtxId(next_id.fetch_add(1, Ordering::Relaxed)),
-                    node: tree.intern(&full_context),
+                    node: tree.intern(ctx),
                     probability_ppm: initial,
                     alloc_count: 0,
                     watch_count: 0,
@@ -196,6 +280,37 @@ impl SamplingUnit {
                 }
             },
             |state, first_seen| {
+                // 0. Absorb allocations that bypassed the table through a
+                // per-thread decision cache: their counts and degradation
+                // are applied in one step, so a cached context's schedule
+                // converges to the uncached one at every refresh.
+                if pending > 0 {
+                    state.alloc_count += u64::from(pending);
+                    state.window_allocs = state.window_allocs.saturating_add(pending);
+                    if !state.pinned_certain
+                        && state.burst_until.is_none()
+                        && state.probability_ppm > params.floor_ppm
+                    {
+                        state.probability_ppm = state
+                            .probability_ppm
+                            .saturating_sub(params.degrade_per_alloc_ppm.saturating_mul(pending))
+                            .max(params.floor_ppm);
+                    }
+                }
+
+                // Pending allocations predate this decision: they only
+                // stand in for individual revive draws if the context was
+                // already quietly at the floor when they happened — not
+                // while burst-throttled, and not before the quiet period
+                // elapsed. Judged before burst exit below so allocations
+                // made *inside* a burst window never earn revive draws.
+                let pending_revive_eligible = !state.pinned_certain
+                    && state.burst_until.is_none()
+                    && state.probability_ppm <= params.floor_ppm
+                    && state.floor_since.is_some_and(|since| {
+                        now.saturating_duration_since(since) >= params.revive_period
+                    });
+
                 // 1. Burst-window bookkeeping.
                 if now.saturating_duration_since(state.window_start) > params.burst_window {
                     state.window_start = now;
@@ -209,6 +324,7 @@ impl SamplingUnit {
                         if !state.pinned_certain {
                             state.probability_ppm = state.probability_ppm.max(params.floor_ppm);
                         }
+                        epoch.fetch_add(1, Ordering::AcqRel);
                     }
                 }
                 state.window_allocs += 1;
@@ -222,10 +338,21 @@ impl SamplingUnit {
                 {
                     state.probability_ppm = params.burst_ppm;
                     state.burst_until = Some(state.window_start + params.burst_window);
+                    epoch.fetch_add(1, Ordering::AcqRel);
                 }
 
                 // 2. Reviving (Section IV-A): floor-level contexts are
-                // randomly boosted after a quiet period.
+                // randomly boosted after a quiet period. When the pending
+                // batch was itself revive-eligible, this decision stands
+                // in for `pending + 1` individual ones, so the revive
+                // draw uses the compounded chance of at least one success
+                // across that many trials — reviving fires at the same
+                // expected frequency cached or not.
+                let revive_trials = if pending_revive_eligible {
+                    pending + 1
+                } else {
+                    1
+                };
                 if !state.pinned_certain && state.burst_until.is_none() {
                     if state.probability_ppm <= params.floor_ppm {
                         match state.floor_since {
@@ -233,10 +360,14 @@ impl SamplingUnit {
                             Some(since)
                                 if now.saturating_duration_since(since)
                                     >= params.revive_period
-                                    && rng.chance_ppm(params.revive_chance_ppm) =>
+                                    && rng.chance_ppm(compound_chance_ppm(
+                                        params.revive_chance_ppm,
+                                        revive_trials,
+                                    )) =>
                             {
                                 state.probability_ppm = params.revive_ppm;
                                 state.floor_since = None;
+                                epoch.fetch_add(1, Ordering::AcqRel);
                             }
                             Some(_) => {}
                         }
@@ -274,39 +405,74 @@ impl SamplingUnit {
         )
     }
 
+    /// Absorbs `count` allocations from `key` that bypassed the table
+    /// through a per-thread decision cache and will see no fresh
+    /// decision (cache flushed at thread exit or run end): counts and
+    /// per-allocation degradation are applied, burst detection is left
+    /// to the next timed decision.
+    pub fn absorb_allocations(&self, key: ContextKey, count: u32) {
+        if count == 0 {
+            return;
+        }
+        let params = self.params;
+        self.table.with_existing(key, |state| {
+            state.alloc_count += u64::from(count);
+            state.window_allocs = state.window_allocs.saturating_add(count);
+            if !state.pinned_certain
+                && state.burst_until.is_none()
+                && state.probability_ppm > params.floor_ppm
+            {
+                state.probability_ppm = state
+                    .probability_ppm
+                    .saturating_sub(params.degrade_per_alloc_ppm.saturating_mul(count))
+                    .max(params.floor_ppm);
+            }
+        });
+    }
+
     /// Records that an object of `key` was watched: halves the context's
-    /// probability ("degradation after each watch").
+    /// probability ("degradation after each watch"). Bumps the
+    /// probability epoch.
     pub fn on_watched(&self, key: ContextKey) {
         let floor = self.params.floor_ppm;
-        self.table.with_existing(key, |state| {
+        let hit = self.table.with_existing(key, |state| {
             state.watch_count += 1;
             if !state.pinned_certain {
                 state.probability_ppm = (state.probability_ppm / 2).max(floor);
             }
         });
+        if hit.is_some() {
+            self.bump_epoch();
+        }
     }
 
     /// Drops `key` to the probability floor — called when the degradation
     /// manager benches a context whose installs keep failing, so the
     /// sampler stops proposing it while the quarantine lasts. Evidence-
     /// pinned contexts are exempt: a proven overflow outranks backend
-    /// trouble.
+    /// trouble. Bumps the probability epoch.
     pub fn quarantine(&self, key: ContextKey) {
         let floor = self.params.floor_ppm;
-        self.table.with_existing(key, |state| {
+        let hit = self.table.with_existing(key, |state| {
             if !state.pinned_certain {
                 state.probability_ppm = floor;
             }
         });
+        if hit.is_some() {
+            self.bump_epoch();
+        }
     }
 
     /// Pins `key` at 100 % — called when canary evidence proves the
-    /// context overflows (Section IV-B).
+    /// context overflows (Section IV-B). Bumps the probability epoch.
     pub fn pin_certain(&self, key: ContextKey) {
-        self.table.with_existing(key, |state| {
+        let hit = self.table.with_existing(key, |state| {
             state.pinned_certain = true;
             state.probability_ppm = PPM_SCALE;
         });
+        if hit.is_some() {
+            self.bump_epoch();
+        }
     }
 
     /// Current probability of `key`, if seen.
@@ -374,7 +540,7 @@ mod tests {
         rng: &mut Arc4Random,
         frames: &FrameTable,
     ) -> AllocDecision {
-        unit.on_allocation(k, now, rng, || ctx(frames, "site"), |_| false)
+        unit.on_allocation(k, now, rng, &ctx(frames, "site"), |_| false)
     }
 
     #[test]
@@ -405,25 +571,138 @@ mod tests {
     }
 
     #[test]
-    fn capture_full_runs_only_once() {
+    fn context_is_interned_only_on_first_sight() {
         let frames = FrameTable::new();
         let u = unit();
         let mut rng = Arc4Random::from_seed(1, 0);
         let k = key(&frames, "a");
-        let mut captures = 0;
+        let c = ctx(&frames, "a");
+        let mut known_checks = 0;
+        let mut firsts = 0;
         for _ in 0..5 {
-            u.on_allocation(
-                k,
-                VirtInstant::BOOT,
-                &mut rng,
-                || {
-                    captures += 1;
-                    ctx(&frames, "a")
-                },
-                |_| false,
-            );
+            let d = u.on_allocation(k, VirtInstant::BOOT, &mut rng, &c, |_| {
+                known_checks += 1;
+                false
+            });
+            if d.first_seen {
+                firsts += 1;
+            }
         }
-        assert_eq!(captures, 1, "backtrace is captured exactly once");
+        assert_eq!(firsts, 1, "first_seen reported exactly once");
+        assert_eq!(known_checks, 1, "evidence consulted exactly once");
+        let nodes_after_five = u.tree().node_count();
+        u.on_allocation(k, VirtInstant::BOOT, &mut rng, &c, |_| false);
+        assert_eq!(u.tree().node_count(), nodes_after_five, "no re-interning");
+    }
+
+    #[test]
+    fn epoch_bumps_on_probability_changing_events() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        let e0 = u.epoch();
+        // Plain allocations do not bump the epoch (degradation drift is
+        // tolerated by the caches)...
+        alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        assert_eq!(u.epoch(), e0);
+        // ...but every probability-changing event does.
+        u.on_watched(k);
+        let e1 = u.epoch();
+        assert!(e1 > e0, "watch install bumps the epoch");
+        u.quarantine(k);
+        let e2 = u.epoch();
+        assert!(e2 > e1, "quarantine bumps the epoch");
+        u.pin_certain(k);
+        let e3 = u.epoch();
+        assert!(e3 > e2, "evidence pinning bumps the epoch");
+        // Events on unseen keys are no-ops and leave the epoch alone.
+        u.on_watched(key(&frames, "never-seen"));
+        assert_eq!(u.epoch(), e3);
+    }
+
+    #[test]
+    fn epoch_bumps_on_burst_entry_and_exit() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "bursty");
+        let t0 = VirtInstant::BOOT;
+        let e0 = u.epoch();
+        for _ in 0..5_001 {
+            alloc(&u, k, t0, &mut rng, &frames);
+        }
+        let e_burst = u.epoch();
+        assert!(e_burst > e0, "burst entry bumps the epoch");
+        let later = t0 + VirtDuration::from_secs(11);
+        alloc(&u, k, later, &mut rng, &frames);
+        assert!(u.epoch() > e_burst, "burst exit bumps the epoch");
+    }
+
+    #[test]
+    fn priors_update_bumps_epoch_and_rebases() {
+        use crate::config::AnalysisPriors;
+        use crate::config::RiskClass;
+        let frames = FrameTable::new();
+        let mut u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "reclassified");
+        alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        let e0 = u.epoch();
+        u.update_priors(AnalysisPriors::from_classes([(k, RiskClass::ProvenSafe)]));
+        assert!(u.epoch() > e0, "priors update bumps the epoch");
+        assert_eq!(
+            u.probability_ppm(k).unwrap(),
+            SamplingParams::default().floor_ppm,
+            "already-seen context re-based to the floor"
+        );
+        assert_eq!(u.state(k).unwrap().prior, Some(RiskClass::ProvenSafe));
+    }
+
+    #[test]
+    fn batched_pending_matches_individual_degradation() {
+        let frames = FrameTable::new();
+        let a = unit();
+        let b = unit();
+        let mut rng_a = Arc4Random::from_seed(1, 0);
+        let mut rng_b = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        let c = ctx(&frames, "site");
+        // Unit A: 10 individual allocations. Unit B: one allocation, then
+        // one with 8 pending absorbed first, then one more — same totals.
+        for _ in 0..10 {
+            a.on_allocation(k, VirtInstant::BOOT, &mut rng_a, &c, |_| false);
+        }
+        b.on_allocation(k, VirtInstant::BOOT, &mut rng_b, &c, |_| false);
+        b.on_allocation_batched(k, VirtInstant::BOOT, &mut rng_b, &c, |_| false, 8);
+        assert_eq!(
+            a.state(k).unwrap().alloc_count,
+            b.state(k).unwrap().alloc_count,
+            "absorbed allocations are counted"
+        );
+        assert_eq!(
+            a.probability_ppm(k).unwrap(),
+            b.probability_ppm(k).unwrap(),
+            "absorbed degradation matches the per-allocation schedule"
+        );
+    }
+
+    #[test]
+    fn absorb_allocations_counts_and_degrades() {
+        let frames = FrameTable::new();
+        let u = unit();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let k = key(&frames, "a");
+        alloc(&u, k, VirtInstant::BOOT, &mut rng, &frames);
+        let before = u.probability_ppm(k).unwrap();
+        u.absorb_allocations(k, 5);
+        assert_eq!(u.state(k).unwrap().alloc_count, 6);
+        assert_eq!(u.probability_ppm(k).unwrap(), before - 5 * 10);
+        // Unknown keys and zero counts are no-ops.
+        u.absorb_allocations(key(&frames, "never-seen"), 3);
+        u.absorb_allocations(k, 0);
+        assert_eq!(u.state(k).unwrap().alloc_count, 6);
     }
 
     #[test]
@@ -541,7 +820,7 @@ mod tests {
             k,
             VirtInstant::BOOT,
             &mut rng,
-            || ctx(&frames, "a"),
+            &ctx(&frames, "a"),
             |_| true, // the evidence file knows this context
         );
         assert!(d.wants_watch);
@@ -642,7 +921,7 @@ mod tests {
             k,
             VirtInstant::BOOT,
             &mut rng,
-            || ctx(&frames, "misjudged_site"),
+            &ctx(&frames, "misjudged_site"),
             |_| true,
         );
         assert!(d.wants_watch);

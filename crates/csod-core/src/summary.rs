@@ -204,7 +204,7 @@ mod tests {
         let ctx = CallingContext::from_locations(&frames, ["s.c:1", "main.c:1"]);
         let key = ContextKey::new(frames.intern("s.c:1"), 0x40);
         let p = csod
-            .malloc(&mut machine, &mut heap, ThreadId::MAIN, 32, key, || ctx)
+            .malloc(&mut machine, &mut heap, ThreadId::MAIN, 32, key, &ctx)
             .unwrap();
         machine.app_write(ThreadId::MAIN, p + 32, 8).unwrap();
         csod.poll(&mut machine);

@@ -54,19 +54,25 @@ impl ContextKey {
         self.stack_offset
     }
 
-    /// The bucket index of this key in a table of `buckets` buckets.
+    /// A 64-bit mix of both key components, used for stripe selection
+    /// and open-addressed probing.
     ///
     /// A cheap integer mix (not SipHash) because this runs on the
     /// allocation fast path; the distribution only needs to spread keys
     /// across buckets.
-    pub fn bucket(&self, buckets: usize) -> usize {
-        debug_assert!(buckets > 0);
+    pub fn hash64(&self) -> u64 {
         let mut x = (u64::from(self.first_level.as_u32()) << 32) ^ self.stack_offset;
         // splitmix64 finalizer.
         x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
-        (x % buckets as u64) as usize
+        x
+    }
+
+    /// The bucket index of this key in a table of `buckets` buckets.
+    pub fn bucket(&self, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        (self.hash64() % buckets as u64) as usize
     }
 }
 

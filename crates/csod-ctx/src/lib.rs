@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::perf)]
 
 mod context;
 mod frame;

@@ -3,9 +3,20 @@
 //! CSOD keeps per-context sampling state in "a global hash table … For
 //! all contexts that hash to the same value, a linked list is utilized to
 //! track these contexts, which has its own lock" (paper Section III-B1).
-//! [`ContextTable`] reproduces that design: a fixed array of buckets,
-//! each a small vector guarded by its own lock, sized large "to reduce
-//! hash conflicts … at the cost of memory consumption".
+//! The original reproduction copied that design literally: a fixed array
+//! of buckets, each a `Vec` chain guarded by its own lock, scanned
+//! linearly. That pays a pointer chase per chain entry and sizes memory
+//! by the bucket count, not the population.
+//!
+//! [`ContextTable`] now improves on the paper's structure the way a
+//! production allocator shim would: a fixed set of lock *stripes*, each
+//! guarding an **open-addressed** sub-table (linear probing, power-of-two
+//! capacity) that grows by occupancy. The stripe is picked from the high
+//! bits of the key's hash and the probe position from the same hash
+//! modulo the stripe's capacity, so a lookup is one lock plus a short
+//! cache-friendly probe — no chain nodes, no per-entry allocation — and
+//! memory tracks the number of live contexts instead of a pre-sized
+//! bucket array.
 //!
 //! The table is generic over the per-context payload `V`; the CSOD core
 //! instantiates it with its sampling state, and tests instantiate it
@@ -14,11 +25,69 @@
 use crate::key::ContextKey;
 use parking_lot::Mutex;
 
-/// Default bucket count — "set to a large number to reduce hash
-/// conflicts" (paper Section III-B1).
-pub const DEFAULT_BUCKETS: usize = 4096;
+/// Default stripe count. Contention on the allocation fast path is
+/// spread across this many independent locks; each stripe's
+/// open-addressed array then grows with the contexts that actually hash
+/// to it ("sized by occupancy").
+pub const DEFAULT_BUCKETS: usize = 64;
 
-/// A bucket-locked hash table keyed by [`ContextKey`].
+/// Initial slot count of a stripe the first time a key lands in it.
+const STRIPE_INITIAL_CAPACITY: usize = 8;
+
+/// One lock stripe: an open-addressed array with linear probing.
+///
+/// Entries are never removed (contexts live for the whole run), so
+/// probing needs no tombstones: a `None` slot terminates every probe
+/// sequence.
+#[derive(Debug)]
+struct Stripe<V> {
+    slots: Vec<Option<(ContextKey, V)>>,
+    len: usize,
+}
+
+impl<V> Stripe<V> {
+    const fn new() -> Self {
+        Stripe {
+            slots: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Index of `key` if present, else the empty slot where it belongs.
+    fn probe(&self, key: ContextKey) -> Result<usize, usize> {
+        debug_assert!(self.slots.len().is_power_of_two());
+        let mask = self.slots.len() - 1;
+        let mut i = (key.hash64() >> 7) as usize & mask;
+        loop {
+            match &self.slots[i] {
+                Some((k, _)) if *k == key => return Ok(i),
+                Some(_) => i = (i + 1) & mask,
+                None => return Err(i),
+            }
+        }
+    }
+
+    /// Grows (or first allocates) the slot array and rehashes.
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(STRIPE_INITIAL_CAPACITY);
+        let old = std::mem::take(&mut self.slots);
+        self.slots.resize_with(new_cap, || None);
+        for entry in old.into_iter().flatten() {
+            let at = self
+                .probe(entry.0)
+                .expect_err("rehash of a distinct key must find a free slot");
+            self.slots[at] = Some(entry);
+        }
+    }
+
+    /// True when inserting one more entry would push the load factor
+    /// past ~87.5 % (7/8), the point where linear probing degrades.
+    fn needs_growth(&self) -> bool {
+        self.slots.is_empty() || (self.len + 1) * 8 > self.slots.len() * 7
+    }
+}
+
+/// A striped open-addressed hash table keyed by [`ContextKey`].
 ///
 /// # Examples
 ///
@@ -36,7 +105,7 @@ pub const DEFAULT_BUCKETS: usize = 4096;
 /// ```
 #[derive(Debug)]
 pub struct ContextTable<V> {
-    buckets: Vec<Mutex<Vec<(ContextKey, V)>>>,
+    stripes: Vec<Mutex<Stripe<V>>>,
 }
 
 impl<V> Default for ContextTable<V> {
@@ -46,12 +115,12 @@ impl<V> Default for ContextTable<V> {
 }
 
 impl<V> ContextTable<V> {
-    /// Creates a table with [`DEFAULT_BUCKETS`] buckets.
+    /// Creates a table with [`DEFAULT_BUCKETS`] stripes.
     pub fn new() -> Self {
         ContextTable::with_buckets(DEFAULT_BUCKETS)
     }
 
-    /// Creates a table with `buckets` buckets.
+    /// Creates a table with `buckets` lock stripes.
     ///
     /// # Panics
     ///
@@ -59,13 +128,17 @@ impl<V> ContextTable<V> {
     pub fn with_buckets(buckets: usize) -> Self {
         assert!(buckets > 0, "context table needs at least one bucket");
         ContextTable {
-            buckets: (0..buckets).map(|_| Mutex::new(Vec::new())).collect(),
+            stripes: (0..buckets).map(|_| Mutex::new(Stripe::new())).collect(),
         }
     }
 
-    /// Number of buckets.
+    /// Number of lock stripes.
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
+        self.stripes.len()
+    }
+
+    fn stripe(&self, key: ContextKey) -> &Mutex<Stripe<V>> {
+        &self.stripes[key.bucket(self.stripes.len())]
     }
 
     /// Runs `f` on the entry for `key`, inserting `init()` first if the
@@ -89,34 +162,49 @@ impl<V> ContextTable<V> {
         init: impl FnOnce() -> V,
         f: impl FnOnce(&mut V, bool) -> R,
     ) -> R {
-        let mut bucket = self.buckets[key.bucket(self.buckets.len())].lock();
-        if let Some(pos) = bucket.iter().position(|(k, _)| *k == key) {
-            let (_, v) = &mut bucket[pos];
-            return f(v, false);
+        let mut stripe = self.stripe(key).lock();
+        if !stripe.slots.is_empty() {
+            if let Ok(at) = stripe.probe(key) {
+                let (_, v) = stripe.slots[at].as_mut().expect("occupied slot");
+                return f(v, false);
+            }
         }
-        bucket.push((key, init()));
-        let (_, v) = bucket.last_mut().expect("just pushed");
+        if stripe.needs_growth() {
+            stripe.grow();
+        }
+        let at = stripe
+            .probe(key)
+            .expect_err("key was absent before insertion");
+        stripe.slots[at] = Some((key, init()));
+        stripe.len += 1;
+        let (_, v) = stripe.slots[at].as_mut().expect("just inserted");
         f(v, true)
     }
 
     /// Runs `f` on the entry for `key` if present.
     pub fn with_existing<R>(&self, key: ContextKey, f: impl FnOnce(&mut V) -> R) -> Option<R> {
-        let mut bucket = self.buckets[key.bucket(self.buckets.len())].lock();
-        bucket
-            .iter_mut()
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| f(v))
+        let mut stripe = self.stripe(key).lock();
+        if stripe.slots.is_empty() {
+            return None;
+        }
+        match stripe.probe(key) {
+            Ok(at) => {
+                let (_, v) = stripe.slots[at].as_mut().expect("occupied slot");
+                Some(f(v))
+            }
+            Err(_) => None,
+        }
     }
 
     /// Whether `key` has an entry.
     pub fn contains(&self, key: ContextKey) -> bool {
-        let bucket = self.buckets[key.bucket(self.buckets.len())].lock();
-        bucket.iter().any(|(k, _)| *k == key)
+        let stripe = self.stripe(key).lock();
+        !stripe.slots.is_empty() && stripe.probe(key).is_ok()
     }
 
-    /// Total number of entries (locks each bucket in turn).
+    /// Total number of entries (locks each stripe in turn).
     pub fn len(&self) -> usize {
-        self.buckets.iter().map(|b| b.lock().len()).sum()
+        self.stripes.iter().map(|s| s.lock().len).sum()
     }
 
     /// Whether the table has no entries.
@@ -124,11 +212,11 @@ impl<V> ContextTable<V> {
         self.len() == 0
     }
 
-    /// Visits every entry; buckets are locked one at a time, so the view
-    /// is per-bucket consistent (sufficient for end-of-run reporting).
+    /// Visits every entry; stripes are locked one at a time, so the view
+    /// is per-stripe consistent (sufficient for end-of-run reporting).
     pub fn for_each(&self, mut f: impl FnMut(ContextKey, &V)) {
-        for bucket in &self.buckets {
-            for (k, v) in bucket.lock().iter() {
+        for stripe in &self.stripes {
+            for (k, v) in stripe.lock().slots.iter().flatten() {
                 f(*k, v);
             }
         }
@@ -136,17 +224,23 @@ impl<V> ContextTable<V> {
 
     /// Visits every entry mutably.
     pub fn for_each_mut(&self, mut f: impl FnMut(ContextKey, &mut V)) {
-        for bucket in &self.buckets {
-            for (k, v) in bucket.lock().iter_mut() {
+        for stripe in &self.stripes {
+            for (k, v) in stripe.lock().slots.iter_mut().flatten() {
                 f(*k, v);
             }
         }
     }
 
-    /// The longest chain among all buckets — the hash-conflict metric
-    /// the paper's design aims to keep near one.
+    /// The population of the fullest stripe — the load-spread metric;
+    /// near `len / bucket_count` when the hash spreads keys well.
     pub fn max_bucket_load(&self) -> usize {
-        self.buckets.iter().map(|b| b.lock().len()).max().unwrap_or(0)
+        self.stripes.iter().map(|s| s.lock().len).max().unwrap_or(0)
+    }
+
+    /// Total slots allocated across all stripes (capacity metric: this
+    /// tracks occupancy, not a pre-sized bucket array).
+    pub fn capacity(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().slots.len()).sum()
     }
 }
 
@@ -199,9 +293,9 @@ mod tests {
     }
 
     #[test]
-    fn colliding_keys_share_a_bucket_chain() {
+    fn single_stripe_holds_all_keys() {
         let frames = FrameTable::new();
-        // One bucket forces every key into the same chain.
+        // One stripe forces every key into the same open-addressed array.
         let table: ContextTable<u32> = ContextTable::with_buckets(1);
         for i in 0..10 {
             table.with_entry(key(&frames, &format!("f{i}"), i), || i as u32, |_| ());
@@ -210,7 +304,30 @@ mod tests {
         assert_eq!(table.max_bucket_load(), 10);
         // Each key still finds its own value.
         for i in 0..10u64 {
-            assert_eq!(table.get_cloned(key(&frames, &format!("f{i}"), i)), Some(i as u32));
+            assert_eq!(
+                table.get_cloned(key(&frames, &format!("f{i}"), i)),
+                Some(i as u32)
+            );
+        }
+    }
+
+    #[test]
+    fn stripes_grow_by_occupancy() {
+        let frames = FrameTable::new();
+        let table: ContextTable<u64> = ContextTable::with_buckets(4);
+        assert_eq!(table.capacity(), 0, "empty table allocates nothing");
+        for i in 0..400 {
+            table.with_entry(key(&frames, &format!("g{i}"), i), || i, |_| ());
+        }
+        assert_eq!(table.len(), 400);
+        let cap = table.capacity();
+        // Load factor stays in (1/8, 7/8]: grown, but proportional to
+        // the population rather than a pre-sized array.
+        assert!(cap >= 400, "capacity {cap} below population");
+        assert!(cap <= 400 * 8, "capacity {cap} wildly oversized");
+        // Everything is still retrievable after all the rehashes.
+        for i in 0..400u64 {
+            assert_eq!(table.get_cloned(key(&frames, &format!("g{i}"), i)), Some(i));
         }
     }
 
@@ -253,6 +370,32 @@ mod tests {
         .unwrap();
         for &k in &keys {
             assert_eq!(table.get_cloned(k), Some(4000));
+        }
+    }
+
+    #[test]
+    fn concurrent_growth_keeps_every_entry() {
+        let frames = FrameTable::new();
+        let table: ContextTable<u64> = ContextTable::with_buckets(2);
+        crossbeam::scope(|scope| {
+            for t in 0..4u64 {
+                let table = &table;
+                let frames = &frames;
+                scope.spawn(move |_| {
+                    for i in 0..200u64 {
+                        let k = key(frames, &format!("t{t}-i{i}"), t * 1000 + i);
+                        table.with_entry(k, || t * 1000 + i, |_| ());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(table.len(), 800);
+        for t in 0..4u64 {
+            for i in 0..200u64 {
+                let k = key(&frames, &format!("t{t}-i{i}"), t * 1000 + i);
+                assert_eq!(table.get_cloned(k), Some(t * 1000 + i));
+            }
         }
     }
 }

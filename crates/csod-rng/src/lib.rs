@@ -29,4 +29,4 @@ mod generator;
 mod per_thread;
 
 pub use generator::{Arc4Random, PPM_SCALE};
-pub use per_thread::{seed_process, thread_chance_ppm, thread_next_u32, with_thread_rng};
+pub use per_thread::{seed_process, thread_chance_ppm, thread_next_u32, with_thread_rng, RngSlots};

@@ -58,6 +58,69 @@ pub fn thread_chance_ppm(ppm: u32) -> bool {
     with_thread_rng(|rng| rng.chance_ppm(ppm))
 }
 
+/// A dense pool of per-thread generators indexed by a small thread id.
+///
+/// The CSOD runtime simulates threads with dense `u32` ids, so keying
+/// the per-thread generators by a `HashMap<ThreadId, Arc4Random>` (as
+/// the original fast path did) paid a SipHash hash plus probe on every
+/// allocation. `RngSlots` is the pre-resolved handle instead: slot *t*
+/// is plain vector index *t*, derived lazily from one process seed plus
+/// the thread id as the stream — the same derivation the paper uses for
+/// its per-thread `arc4random` port, with O(1) non-hashing access.
+///
+/// # Examples
+///
+/// ```
+/// use csod_rng::RngSlots;
+///
+/// let mut slots = RngSlots::new(0xC50D);
+/// let first = slots.get(0).next_u32();
+/// // Same slot, same generator: the stream continues.
+/// assert_ne!(slots.get(0).next_u32(), first);
+/// // Different slots are independent streams.
+/// let mut replay = RngSlots::new(0xC50D);
+/// assert_eq!(replay.get(0).next_u32(), first);
+/// ```
+#[derive(Debug)]
+pub struct RngSlots {
+    seed: u64,
+    slots: Vec<Option<Arc4Random>>,
+}
+
+impl RngSlots {
+    /// Creates an empty pool deriving every slot from `seed`.
+    pub fn new(seed: u64) -> Self {
+        RngSlots {
+            seed,
+            slots: Vec::new(),
+        }
+    }
+
+    /// The generator of slot `index`, created on first use with stream
+    /// id `index`.
+    pub fn get(&mut self, index: u32) -> &mut Arc4Random {
+        let i = index as usize;
+        if i >= self.slots.len() {
+            self.slots.resize(i + 1, None);
+        }
+        let seed = self.seed;
+        self.slots[i].get_or_insert_with(|| Arc4Random::from_seed(seed, u64::from(index)))
+    }
+
+    /// Drops the generator of slot `index` (thread exit). A later
+    /// [`RngSlots::get`] re-derives the same stream from scratch.
+    pub fn release(&mut self, index: u32) {
+        if let Some(slot) = self.slots.get_mut(index as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Number of slots ever touched (live or released).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,5 +155,28 @@ mod tests {
     fn chance_helper_matches_extremes() {
         assert!(thread_chance_ppm(1_000_000));
         assert!(!thread_chance_ppm(0));
+    }
+
+    #[test]
+    fn slots_are_dense_deterministic_streams() {
+        let mut slots = RngSlots::new(7);
+        let a0 = slots.get(0).next_u64();
+        let a5 = slots.get(5).next_u64();
+        assert_ne!(a0, a5, "streams differ per slot");
+        assert_eq!(slots.capacity(), 6);
+        // Matches a directly derived generator for the same (seed, stream).
+        assert_eq!(Arc4Random::from_seed(7, 5).next_u64(), a5);
+    }
+
+    #[test]
+    fn release_restarts_the_stream() {
+        let mut slots = RngSlots::new(9);
+        let first = slots.get(2).next_u32();
+        let second = slots.get(2).next_u32();
+        assert_ne!(first, second, "stream advances while live");
+        slots.release(2);
+        assert_eq!(slots.get(2).next_u32(), first, "released slot re-derives");
+        // Releasing an untouched slot is a no-op.
+        slots.release(99);
     }
 }

@@ -159,7 +159,7 @@ pub fn run_chaos_soak(cfg: &ChaosConfig) -> ChaosOutcome {
                 k => workers[(k - 1) as usize],
             },
         };
-        match csod.malloc(&mut machine, &mut heap, tid, size, *key, || ctx.clone()) {
+        match csod.malloc(&mut machine, &mut heap, tid, size, *key, ctx) {
             Ok(p) => {
                 ring[slot] = Some((p, size));
                 let boundary = p + size.div_ceil(8) * 8;

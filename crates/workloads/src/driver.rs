@@ -250,14 +250,13 @@ impl<'r> TraceRunner<'r> {
                         .expect("trace fits in the heap"),
                     ToolState::Csod(csod) => {
                         let alloc_site = self.registry.alloc_site(site);
-                        let context = &alloc_site.context;
                         csod.malloc(
                             &mut self.machine,
                             &mut self.heap,
                             tid,
                             size,
                             alloc_site.key,
-                            || context.clone(),
+                            &alloc_site.context,
                         )
                         .expect("trace fits in the heap")
                     }

@@ -38,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ["ring/push.c:31", "producer.c:main_loop:8"],
         );
         let key = ContextKey::new(frames.intern("ring/push.c:31"), 0x40 + i * 0x10);
-        ring.push(csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 48, key, || ctx)?);
+        ring.push(csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 48, key, &ctx)?);
     }
 
     // The consumer drains the ring... and reads one slot too far on the

@@ -30,9 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ["app/parser.c:104", "app/driver.c:88", "app/main.c:21"],
     );
     let key = ContextKey::new(alloc_ctx.first_level().expect("non-empty"), 0x40);
-    let buffer = csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || {
-        alloc_ctx.clone()
-    })?;
+    let buffer = csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, &alloc_ctx)?;
     println!("allocated 64-byte buffer at {buffer}");
     println!("watched by a hardware watchpoint: {}", csod.is_watched(buffer));
 

@@ -124,7 +124,7 @@ fn sampling_unit_is_safe_under_concurrent_allocations() {
                         key,
                         VirtInstant::BOOT,
                         &mut rng,
-                        || CallingContext::from_locations(frames, ["mt.c:1", "main.c:1"]),
+                        &CallingContext::from_locations(frames, ["mt.c:1", "main.c:1"]),
                         |_| false,
                     );
                     if decision.wants_watch {

@@ -40,7 +40,7 @@ impl World {
         let key = self.key(site);
         let ctx = self.ctx(site);
         self.csod
-            .malloc(&mut self.machine, &mut self.heap, ThreadId::MAIN, size, key, || ctx)
+            .malloc(&mut self.machine, &mut self.heap, ThreadId::MAIN, size, key, &ctx)
             .unwrap()
     }
 }

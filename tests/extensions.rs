@@ -117,7 +117,7 @@ fn corrupt_evidence_file_is_tolerated() {
     let ctx = CallingContext::from_locations(&frames, ["ok.c:1", "main.c:1"]);
     let key = ContextKey::new(frames.intern("ok.c:1"), 0x40);
     let p = csod
-        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 32, key, || ctx)
+        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 32, key, &ctx)
         .unwrap();
     assert!(csod.is_watched(p));
     csod.finish(&mut machine);
@@ -144,11 +144,11 @@ fn allocator_exhaustion_is_reported_and_recoverable() {
     let key = ContextKey::new(frames.intern("big.c:1"), 0x40);
 
     let first = csod
-        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 4096, key, || ctx.clone())
+        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 4096, key, &ctx)
         .unwrap();
     // The second big allocation cannot fit (header + canary included).
     let err = csod
-        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 4096, key, || ctx.clone())
+        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 4096, key, &ctx)
         .unwrap_err();
     assert!(matches!(
         err,
@@ -160,7 +160,7 @@ fn allocator_exhaustion_is_reported_and_recoverable() {
     // And the same-sized allocation now succeeds by recycling the block
     // (the freelist allocator does not split size classes).
     let again = csod
-        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 4096, key, || ctx.clone())
+        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 4096, key, &ctx)
         .unwrap();
     assert!(heap.is_live(csod::core::ObjectLayout::new(true, 4096).real_ptr(again)));
 }
@@ -181,7 +181,7 @@ fn backends_compose_with_thread_spawning() {
         let ctx = CallingContext::from_locations(&frames, ["t.c:1", "main.c:1"]);
         let key = ContextKey::new(frames.intern("t.c:1"), 0x40);
         let p = csod
-            .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, || ctx)
+            .malloc(&mut machine, &mut heap, ThreadId::MAIN, 64, key, &ctx)
             .unwrap();
         let worker = csod.spawn_thread(&mut machine);
         machine.app_write(worker, p + 64, 8).unwrap();
@@ -205,7 +205,7 @@ fn pmu_and_watchpoints_coexist() {
     let ctx = CallingContext::from_locations(&frames, ["c.c:1", "main.c:1"]);
     let key = ContextKey::new(frames.intern("c.c:1"), 0x40);
     let p = csod
-        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 32, key, || ctx)
+        .malloc(&mut machine, &mut heap, ThreadId::MAIN, 32, key, &ctx)
         .unwrap();
     machine.app_write(ThreadId::MAIN, p, 8).unwrap();
     machine.app_write(ThreadId::MAIN, p + 32, 8).unwrap();

@@ -59,7 +59,7 @@ proptest! {
         let ctx = CallingContext::from_locations(&frames, ["p.c:1", "main.c:1"]);
         let mut rng = Arc4Random::from_seed(seed, 0);
         for i in 0..allocs {
-            let d = unit.on_allocation(key, VirtInstant::BOOT, &mut rng, || ctx.clone(), |_| false);
+            let d = unit.on_allocation(key, VirtInstant::BOOT, &mut rng, &ctx, |_| false);
             prop_assert!(d.probability_ppm <= PPM_SCALE);
             prop_assert!(d.probability_ppm >= 1, "never zero: floor or burst floor");
             if i < watches {
@@ -166,7 +166,7 @@ proptest! {
                 let key = ContextKey::new(frames.intern(&name), 0x40);
                 let ctx = CallingContext::from_locations(&frames, [name.as_str(), "main.c:1"]);
                 let addr = csod
-                    .malloc(&mut machine, &mut heap, ThreadId::MAIN, size, key, || ctx)
+                    .malloc(&mut machine, &mut heap, ThreadId::MAIN, size, key, &ctx)
                     .unwrap();
                 live.push((addr, size));
             }
@@ -204,13 +204,13 @@ proptest! {
             let key = ContextKey::new(frames.intern(&name), 0x40);
             let ctx = CallingContext::from_locations(&frames, [name.as_str(), "main.c:1"]);
             let _ = csod
-                .malloc(&mut machine, &mut heap, ThreadId::MAIN, *size, key, || ctx)
+                .malloc(&mut machine, &mut heap, ThreadId::MAIN, *size, key, &ctx)
                 .unwrap();
         }
         let key = ContextKey::new(frames.intern("bug.c:1"), 0x40);
         let ctx = CallingContext::from_locations(&frames, ["bug.c:1", "main.c:1"]);
         let p = csod
-            .malloc(&mut machine, &mut heap, ThreadId::MAIN, 40, key, || ctx)
+            .malloc(&mut machine, &mut heap, ThreadId::MAIN, 40, key, &ctx)
             .unwrap();
         prop_assume!(csod.is_watched(p));
         machine.set_current_site(ThreadId::MAIN, SiteToken(0));

@@ -1,0 +1,416 @@
+//! Tracked free-path benchmark: the deallocation and watchpoint-lifecycle
+//! hot paths overhauled in the free-path PR.
+//!
+//! Four scenarios:
+//!
+//! 1. **Unwatched free** through the full runtime with all four debug
+//!    registers pinned elsewhere — every free hits the compact
+//!    watched-address filter and skips the WMU and the retry queue
+//!    entirely. This is the common case (sampling watches a handful of
+//!    objects out of millions).
+//! 2. **Watched free**, deferred vs. synchronous: the manager-level
+//!    install/remove churn where the deferred path only unlinks and
+//!    queues the Figure-4 teardown for the next batched drain, while the
+//!    paper-faithful path pays `ioctl(Disable)` + `close` per descriptor
+//!    on the spot. Also reports the average teardown batch size.
+//! 3. **Trap dispatch**: resolving a firing descriptor through the fd
+//!    index vs. the paper's Section III-D1 one-by-one comparison, with
+//!    16 threads alive (64 live descriptors).
+//! 4. **Parallel scenario driver**: a batch of effectiveness traces
+//!    fanned across OS threads vs. run serially.
+//!
+//! ```bash
+//! cargo run --release -p csod-bench --bin freepath            # writes BENCH_freepath.json
+//! cargo run --release -p csod-bench --bin freepath -- --check BENCH_freepath.json
+//! ```
+//!
+//! `--check <baseline>` re-runs the measurements and exits non-zero when
+//! any tracked ns metric regressed to more than twice the committed
+//! baseline — the CI perf-smoke gate.
+
+use csod_core::{
+    Csod, CsodConfig, CtxId, ReplacementPolicy, WatchCandidate, WatchpointManager,
+};
+use csod_ctx::{CallingContext, ContextKey, FrameTable};
+use csod_rng::Arc4Random;
+use sim_heap::{HeapConfig, SimHeap};
+use sim_machine::{Machine, ThreadId, VirtAddr, VirtDuration};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workloads::{run_traces_parallel, BuggyApp, Event, ToolSpec, TraceRunner};
+
+/// Allocation contexts cycled through by the unwatched-free scenario.
+const CONTEXTS: usize = 64;
+/// Live objects per timed round of the unwatched-free scenario.
+const ROUND_ALLOCS: usize = 8_192;
+/// Timed rounds (the fastest is reported, Criterion-style).
+const ROUNDS: usize = 12;
+/// Install/remove cycles per timed round of the watched churn.
+const CHURN_CYCLES: usize = 512;
+/// Threads alive during the trap-dispatch scenario.
+const DISPATCH_THREADS: usize = 16;
+/// Descriptor lookups per dispatch measurement.
+const DISPATCH_LOOKUPS: usize = 200_000;
+/// Traces fanned out by the parallel-driver scenario.
+const PARALLEL_TRACES: usize = 12;
+/// Worker-thread cap for the parallel-driver scenario; the actual pool
+/// is `min(this, available cores)` — fanning 12 traces across 4 threads
+/// on a 1-core CI box would only measure scheduler overhead.
+const PARALLEL_THREADS: usize = 4;
+
+/// Worker threads the parallel-driver scenario actually uses.
+fn parallel_pool() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(PARALLEL_THREADS)
+}
+/// Allowed slowdown versus the committed baseline before `--check` fails.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+/// ns per *unwatched* free through the full runtime: the four slots are
+/// pinned by never-freed allocations under the naive policy, so every
+/// timed free misses the watched-address filter and takes the fast path.
+fn unwatched_free_ns() -> f64 {
+    let frames = Arc::new(FrameTable::new());
+    let mut machine = Machine::new();
+    let mut heap = SimHeap::new(&mut machine, HeapConfig::default()).expect("fresh heap");
+    let mut csod = Csod::new(
+        CsodConfig::with_policy(ReplacementPolicy::Naive),
+        Arc::clone(&frames),
+    );
+    // Pin all four debug registers; naive never preempts, so everything
+    // allocated afterwards is guaranteed unwatched.
+    for i in 0..4 {
+        let ctx = CallingContext::from_locations(
+            &frames,
+            [format!("pin_{i}.c:1").as_str(), "main.c:1"],
+        );
+        let key = ContextKey::new(ctx.first_level().expect("non-empty"), 0x40);
+        csod.malloc(&mut machine, &mut heap, ThreadId::MAIN, 16, key, &ctx)
+            .expect("heap has room");
+    }
+    let sites: Vec<(ContextKey, CallingContext)> = (0..CONTEXTS)
+        .map(|i| {
+            let ctx = CallingContext::from_locations(
+                &frames,
+                [format!("cold_{i}.c:1").as_str(), "driver.c:7", "main.c:1"],
+            );
+            (ContextKey::new(ctx.first_level().expect("non-empty"), 0x40), ctx)
+        })
+        .collect();
+
+    let mut best = f64::INFINITY;
+    let mut ptrs = Vec::with_capacity(ROUND_ALLOCS);
+    // One untimed warm-up round settles context interning and heap state.
+    for round in 0..=ROUNDS {
+        for i in 0..ROUND_ALLOCS {
+            let (key, ctx) = &sites[i % CONTEXTS];
+            let p = csod
+                .malloc(&mut machine, &mut heap, ThreadId::MAIN, 16, *key, ctx)
+                .expect("heap has room");
+            ptrs.push(p);
+        }
+        let start = Instant::now();
+        for p in ptrs.drain(..) {
+            csod.free(&mut machine, &mut heap, ThreadId::MAIN, p)
+                .expect("was allocated");
+        }
+        let free_ns = start.elapsed().as_nanos() as f64 / ROUND_ALLOCS as f64;
+        if round > 0 {
+            best = best.min(free_ns);
+        }
+    }
+    assert!(
+        csod.stats().frees_fast_filtered >= (ROUNDS * ROUND_ALLOCS) as u64,
+        "the timed frees were supposed to take the filtered fast path"
+    );
+    best
+}
+
+fn churn_candidate(frames: &FrameTable, base: VirtAddr, n: u64) -> WatchCandidate {
+    WatchCandidate {
+        object_start: base + n * 64,
+        canary_addr: base + n * 64 + 56,
+        // The conversion is exact: the churn uses four slots.
+        key: ContextKey::new(frames.intern(&format!("churn{n}")), 0),
+        ctx_id: CtxId::from_index(u32::try_from(n).expect("few slots")),
+        probability_ppm: 500,
+    }
+}
+
+/// ns per *watched* free at the manager level: fill the four slots, then
+/// remove all four by object address. Deferred mode only unlinks (the
+/// drain happens inside the next round's installs, off the free path);
+/// synchronous mode pays the per-descriptor Figure-4 sequence inline.
+/// Returns `(ns_per_remove, average_teardown_batch)`.
+fn watched_churn(deferred: bool) -> (f64, f64) {
+    let frames = FrameTable::new();
+    let mut machine = Machine::new();
+    let base = VirtAddr::new(0x10_0000);
+    machine.map_region(base, 1 << 16, "heap").expect("mapped");
+    let mut rng = Arc4Random::from_seed(9, 0);
+    let mut w = WatchpointManager::new(ReplacementPolicy::Naive, VirtDuration::from_secs(10));
+    w.configure_fast_path(deferred, true);
+    let candidates: Vec<WatchCandidate> =
+        (0..4).map(|n| churn_candidate(&frames, base, n)).collect();
+
+    let mut best = f64::INFINITY;
+    for round in 0..=ROUNDS {
+        let mut removing = Duration::ZERO;
+        for _ in 0..CHURN_CYCLES {
+            // Install phase (untimed): the first consider also drains the
+            // previous cycle's deferred batch, exactly like the runtime
+            // drains at poll()/install points.
+            for c in &candidates {
+                w.consider(&mut machine, *c, &mut rng, |_| None);
+            }
+            let start = Instant::now();
+            for c in &candidates {
+                std::hint::black_box(w.remove_by_object(&mut machine, c.object_start));
+            }
+            removing += start.elapsed();
+        }
+        let ns = removing.as_nanos() as f64 / (CHURN_CYCLES * 4) as f64;
+        if round > 0 {
+            best = best.min(ns);
+        }
+    }
+    let stats = w.stats();
+    let batch_avg = if stats.teardown_batches == 0 {
+        0.0
+    } else {
+        stats.teardowns_batched as f64 / stats.teardown_batches as f64
+    };
+    (best, batch_avg)
+}
+
+/// ns per descriptor resolution with 16 threads alive (4 slots × 16
+/// threads = 64 live descriptors): the fd index vs. the paper's linear
+/// scan over every slot's per-thread descriptor list.
+fn dispatch_pair() -> (f64, f64) {
+    let frames = FrameTable::new();
+    let mut machine = Machine::new();
+    let base = VirtAddr::new(0x10_0000);
+    machine.map_region(base, 1 << 16, "heap").expect("mapped");
+    for _ in 1..DISPATCH_THREADS {
+        machine.spawn_thread();
+    }
+    let mut rng = Arc4Random::from_seed(3, 0);
+    let mut w = WatchpointManager::new(ReplacementPolicy::Naive, VirtDuration::from_secs(10));
+    w.configure_fast_path(true, true);
+    for n in 0..4 {
+        w.consider(&mut machine, churn_candidate(&frames, base, n), &mut rng, |_| None);
+    }
+    let fds: Vec<_> = w
+        .watched()
+        .flat_map(|o| o.descriptors().map(|(_, fd)| fd))
+        .collect();
+    assert_eq!(fds.len(), 4 * DISPATCH_THREADS, "4 slots on every thread");
+
+    let mut best_index = f64::INFINITY;
+    let mut best_scan = f64::INFINITY;
+    for round in 0..=ROUNDS {
+        let start = Instant::now();
+        for i in 0..DISPATCH_LOOKUPS {
+            let hit = w.find_by_fd(fds[i % fds.len()]);
+            std::hint::black_box(hit.map(|o| o.object_start));
+        }
+        let index_ns = start.elapsed().as_nanos() as f64 / DISPATCH_LOOKUPS as f64;
+        let start = Instant::now();
+        for i in 0..DISPATCH_LOOKUPS {
+            let hit = w.find_by_fd_scan(fds[i % fds.len()]);
+            std::hint::black_box(hit.map(|o| o.object_start));
+        }
+        let scan_ns = start.elapsed().as_nanos() as f64 / DISPATCH_LOOKUPS as f64;
+        if round > 0 {
+            best_index = best_index.min(index_ns);
+            best_scan = best_scan.min(scan_ns);
+        }
+    }
+    (best_index, best_scan)
+}
+
+/// Wall-clock seconds for a batch of effectiveness traces, serial vs.
+/// fanned across the parallel scenario driver. Returns
+/// `(serial_ms, parallel_ms)`; the outcomes are asserted identical — the
+/// driver must never trade determinism for speed.
+fn parallel_driver_pair() -> (f64, f64) {
+    let pool = parallel_pool();
+    let app = BuggyApp::by_name("gzip").expect("corpus app");
+    let registry = app.registry();
+    let traces: Vec<Vec<Event>> = (0..PARALLEL_TRACES as u64).map(|s| app.trace(s)).collect();
+    let tool = ToolSpec::Csod(CsodConfig::default());
+
+    let mut best_serial = f64::INFINITY;
+    let mut best_parallel = f64::INFINITY;
+    for round in 0..=3 {
+        let start = Instant::now();
+        let serial: Vec<_> = traces
+            .iter()
+            .map(|t| TraceRunner::new(&registry, tool.clone()).run(t.iter().cloned()))
+            .collect();
+        let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let parallel = run_traces_parallel(&registry, &tool, &traces, pool);
+        let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.reports, p.reports, "parallel driver changed an outcome");
+        }
+        if round > 0 {
+            best_serial = best_serial.min(serial_ms);
+            best_parallel = best_parallel.min(parallel_ms);
+        }
+    }
+    (best_serial, best_parallel)
+}
+
+struct Results {
+    metrics: Vec<(&'static str, f64)>,
+}
+
+impl Results {
+    fn get(&self, key: &str) -> f64 {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("metric {key} missing"))
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v:.2}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Attempts per timed scenario. Each scenario already keeps its fastest
+/// round; repeating the whole scenario and keeping the overall minimum
+/// spreads the samples across tens of seconds, so bursty interference
+/// (this runs on shared CI hardware) has to last the whole bench to
+/// inflate a metric.
+const ATTEMPTS: usize = 3;
+
+/// Minimum over [`ATTEMPTS`] runs of a scenario.
+fn best_of<T, F: FnMut() -> (f64, T)>(mut f: F) -> (f64, T) {
+    let mut best = f();
+    for _ in 1..ATTEMPTS {
+        let next = f();
+        if next.0 < best.0 {
+            best = next;
+        }
+    }
+    best
+}
+
+fn measure() -> Results {
+    eprintln!("freepath bench: unwatched frees through the filter...");
+    let (unwatched, ()) = best_of(|| (unwatched_free_ns(), ()));
+    eprintln!("freepath bench: watched churn, deferred teardown...");
+    let (deferred, batch_avg) = best_of(|| watched_churn(true));
+    eprintln!("freepath bench: watched churn, synchronous teardown...");
+    let (synchronous, _) = best_of(|| watched_churn(false));
+    eprintln!("freepath bench: trap dispatch, {DISPATCH_THREADS} threads...");
+    let (index_ns, scan_ns) = best_of(dispatch_pair);
+    eprintln!("freepath bench: parallel driver, {PARALLEL_TRACES} traces x {} threads...", parallel_pool());
+    let (serial_ms, parallel_ms) = parallel_driver_pair();
+    Results {
+        metrics: vec![
+            ("unwatched_ns_per_free", unwatched),
+            ("watched_deferred_ns_per_free", deferred),
+            ("watched_synchronous_ns_per_free", synchronous),
+            ("deferred_free_speedup", synchronous / deferred),
+            ("teardown_batch_avg", batch_avg),
+            ("dispatch_threads", DISPATCH_THREADS as f64),
+            ("trap_dispatch_fd_index_ns", index_ns),
+            ("trap_dispatch_scan_ns", scan_ns),
+            ("dispatch_speedup", scan_ns / index_ns),
+            ("parallel_trace_threads", parallel_pool() as f64),
+            ("parallel_serial_ms", serial_ms),
+            ("parallel_fanned_ms", parallel_ms),
+            ("parallel_trace_speedup", serial_ms / parallel_ms),
+        ],
+    }
+}
+
+/// Pulls `"key": <number>` out of the flat baseline JSON — the file is
+/// written by this binary, so a full parser would be overkill.
+fn extract(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results = measure();
+    println!("\n=== free path & watchpoint lifecycle ===");
+    for (k, v) in &results.metrics {
+        println!("{k:>36}  {v:10.2}");
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--check") {
+        let baseline_path = args.get(pos + 1).map_or("BENCH_freepath.json", |s| s.as_str());
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        let keys = [
+            "unwatched_ns_per_free",
+            "watched_deferred_ns_per_free",
+            "trap_dispatch_fd_index_ns",
+        ];
+        // Interference can only inflate a wall-clock measurement, so a
+        // single observation under the threshold proves the code has
+        // not regressed. On an apparent failure, re-measure (twice at
+        // most) and keep each metric's best observation before ruling.
+        let mut best = results;
+        for retry in 0..=2 {
+            let regressed = |r: &Results| {
+                keys.iter().any(|key| {
+                    let base = extract(&baseline, key)
+                        .unwrap_or_else(|| panic!("baseline {baseline_path} lacks {key}"));
+                    r.get(key) > base * REGRESSION_FACTOR
+                })
+            };
+            if !regressed(&best) || retry == 2 {
+                break;
+            }
+            eprintln!("freepath bench: over threshold, re-measuring (noisy host?)...");
+            let again = measure();
+            for (k, v) in &mut best.metrics {
+                *v = v.min(again.get(k));
+            }
+        }
+        let mut failed = false;
+        for key in keys {
+            let base = extract(&baseline, key)
+                .unwrap_or_else(|| panic!("baseline {baseline_path} lacks {key}"));
+            let fresh = best.get(key);
+            let verdict = if fresh > base * REGRESSION_FACTOR {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!("check {key}: {fresh:.2} vs baseline {base:.2} ({verdict})");
+        }
+        if failed {
+            eprintln!("perf smoke FAILED: free path slower than {REGRESSION_FACTOR}x baseline");
+            std::process::exit(1);
+        }
+        println!("perf smoke passed");
+    } else {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|p| args.get(p + 1).cloned())
+            .unwrap_or_else(|| "BENCH_freepath.json".into());
+        std::fs::write(&out, results.to_json()).expect("baseline written");
+        println!("wrote {out}");
+    }
+}

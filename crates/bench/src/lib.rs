@@ -6,6 +6,7 @@
 //! results.
 
 #![warn(missing_docs)]
+#![warn(clippy::perf)]
 
 use std::num::NonZeroUsize;
 use std::thread;

@@ -135,10 +135,14 @@ impl CanaryUnit {
     ) -> Result<(), MemoryError> {
         let user = layout.user_ptr(real);
         if layout.evidence {
-            machine.raw_store_u64(real, real.as_u64())?;
-            machine.raw_store_u64(real + 8, layout.requested)?;
-            machine.raw_store_u64(real + 16, u64::from(ctx_id.as_u32()))?;
-            machine.raw_store_u64(real + 24, OBJECT_IDENTIFIER)?;
+            // The four header words are contiguous: one write, one
+            // region lookup, instead of four round trips.
+            let mut header = [0u8; 32];
+            header[..8].copy_from_slice(&real.as_u64().to_le_bytes());
+            header[8..16].copy_from_slice(&layout.requested.to_le_bytes());
+            header[16..24].copy_from_slice(&u64::from(ctx_id.as_u32()).to_le_bytes());
+            header[24..32].copy_from_slice(&OBJECT_IDENTIFIER.to_le_bytes());
+            machine.raw_write_bytes(real, &header)?;
             machine.raw_store_u64(layout.canary_addr(user), self.canary_value)?;
         }
         Ok(())

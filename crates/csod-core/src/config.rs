@@ -129,6 +129,15 @@ pub struct FastPathParams {
     /// degradation drift can accumulate (`refresh × 10 ppm` with the
     /// paper constants).
     pub decision_cache_refresh: u32,
+    /// Defer the Figure-4 `ioctl`/`close` teardown of freed watchpoints
+    /// into batches drained at `poll()`/install/quiesce points, instead
+    /// of paying two syscalls per descriptor on the free path itself.
+    /// Disable for the paper-faithful synchronous teardown.
+    pub deferred_teardown: bool,
+    /// Resolve firing watchpoints through a hashed fd→slot index instead
+    /// of the paper's one-by-one descriptor comparison (Section III-D1).
+    /// Disable for the paper-faithful linear scan.
+    pub fd_index: bool,
 }
 
 impl FastPathParams {
@@ -141,6 +150,18 @@ impl FastPathParams {
     pub fn uncached() -> Self {
         FastPathParams {
             decision_cache_refresh: 1,
+            ..FastPathParams::default()
+        }
+    }
+
+    /// Parameters with the paper-faithful free path: synchronous per-fd
+    /// Figure-4 teardown and linear trap dispatch (Section III-D1). Used
+    /// by the parity suites and as the bench comparison mode.
+    pub fn synchronous_teardown() -> Self {
+        FastPathParams {
+            deferred_teardown: false,
+            fd_index: false,
+            ..FastPathParams::default()
         }
     }
 }
@@ -149,6 +170,8 @@ impl Default for FastPathParams {
     fn default() -> Self {
         FastPathParams {
             decision_cache_refresh: Self::DEFAULT_REFRESH,
+            deferred_teardown: true,
+            fd_index: true,
         }
     }
 }
@@ -513,6 +536,7 @@ mod tests {
         let zero_refresh = CsodConfig {
             fast_path: FastPathParams {
                 decision_cache_refresh: 0,
+                ..FastPathParams::default()
             },
             ..CsodConfig::default()
         };

@@ -327,6 +327,13 @@ impl DegradationManager {
         self.retry_queue.retain(|r| r.candidate.object_start != object_start);
     }
 
+    /// Number of install retries currently waiting out their backoff.
+    /// The free fast path reads this (a plain `Vec::len`) to decide
+    /// whether the retry-cancel scan can be skipped entirely.
+    pub fn pending_retries(&self) -> usize {
+        self.retry_queue.len()
+    }
+
     /// Number of contexts currently benched.
     pub fn quarantined_contexts(&self, now: VirtInstant) -> usize {
         self.ctx_health

@@ -60,4 +60,6 @@ pub use report::{DetectionMethod, OverflowReport};
 pub use runtime::{Csod, CsodError, CsodStats};
 pub use sampling::{AllocDecision, CtxId, CtxState, SamplingUnit};
 pub use summary::RunSummary;
-pub use watchpoints::{InstallOutcome, WatchCandidate, WatchedObject, WatchpointManager, WatchpointStats};
+pub use watchpoints::{
+    InstallOutcome, WatchCandidate, WatchFilter, WatchedObject, WatchpointManager, WatchpointStats,
+};

@@ -117,6 +117,15 @@ pub struct CsodStats {
     /// had classified proven-safe. Must stay zero; anything else is an
     /// analyzer soundness bug.
     pub proven_safe_overflows: u64,
+    /// Frees that skipped the watchpoint scan and retry-cancel entirely
+    /// because the watched-address filter proved the object unwatched.
+    pub frees_fast_filtered: u64,
+    /// Figure-4 teardowns executed through batched drains instead of
+    /// synchronously on the free path.
+    pub teardowns_batched: u64,
+    /// Traps drained after their watchpoint was logically removed —
+    /// counted here, never reported (the stale-trap rule).
+    pub stale_traps_suppressed: u64,
 }
 
 /// The CSOD runtime.
@@ -210,14 +219,19 @@ impl Csod {
         // value); per-thread sampling streams use the thread id.
         let mut secret_rng = Arc4Random::from_seed(config.seed, u64::MAX);
         let canary = CanaryUnit::new(secret_rng.next_u64());
+        let mut watchpoints = WatchpointManager::with_slots(
+            config.policy,
+            config.backend,
+            config.watch_age_decay,
+            config.watchpoint_slots,
+        );
+        watchpoints.configure_fast_path(
+            config.fast_path.deferred_teardown,
+            config.fast_path.fd_index,
+        );
         Csod {
             sampling: SamplingUnit::with_priors(config.sampling, config.priors.clone()),
-            watchpoints: WatchpointManager::with_slots(
-                config.policy,
-                config.backend,
-                config.watch_age_decay,
-                config.watchpoint_slots,
-            ),
+            watchpoints,
             degradation: DegradationManager::new(config.degradation, config.watchpoint_slots),
             canary,
             evidence,
@@ -600,9 +614,17 @@ impl Csod {
         // "Upon every deallocation, CSOD checks whether the current
         // object is being watched. If yes, the corresponding watchpoint
         // will be removed." A pending install retry for the object is
-        // cancelled with it — the address may be recycled.
-        self.watchpoints.remove_by_object(machine, user);
-        self.degradation.cancel_retry(user);
+        // cancelled with it — the address may be recycled. The check
+        // itself is the watched-address filter (≤ slot-count addresses)
+        // plus the pending-retry count: a miss on both proves there is
+        // nothing to remove or cancel, so the common unwatched free
+        // touches neither the WMU nor the retry queue.
+        if self.watchpoints.filter().contains(user) || self.degradation.pending_retries() > 0 {
+            self.watchpoints.remove_by_object(machine, user);
+            self.degradation.cancel_retry(user);
+        } else {
+            self.stats.frees_fast_filtered += 1;
+        }
 
         if self.config.evidence {
             machine.charge(CostDomain::Tool, machine.costs().canary_check);
@@ -637,9 +659,17 @@ impl Csod {
         machine: &mut Machine,
         tid: ThreadId,
     ) -> Result<(), sim_machine::ThreadError> {
+        // Drain queued teardowns while their descriptors are still open:
+        // the machine auto-closes the dead thread's fds, and batching
+        // them out first keeps the syscall accounting honest.
+        self.watchpoints.drain_teardowns(machine);
         self.watchpoints.forget_thread(tid);
         if let Some(cache) = self.caches.get_mut(tid.as_u32() as usize) {
             cache.flush(&self.sampling);
+            // Reset the slot so a thread id ever reused by the registry
+            // would start with a fresh cache, not the dead thread's
+            // memoized verdicts.
+            *cache = DecisionCache::new(self.config.fast_path.decision_cache_refresh);
         }
         self.rngs.release(tid.as_u32());
         machine.exit_thread(tid)
@@ -665,14 +695,21 @@ impl Csod {
                 }
             }
         }
+        // Quiesce point: pay for any teardowns deferred off the free
+        // path, in one batched kernel entry.
+        self.watchpoints.drain_teardowns(machine);
     }
 
     fn on_trap(&mut self, machine: &Machine, sig: SignalInfo) {
         let Some(fd) = sig.fd else { return };
-        // "CSOD compares the current file descriptor with each of these
-        // saved file descriptors one-by-one" (Section III-D1).
+        // Resolve the firing watchpoint — through the fd index, or the
+        // one-by-one descriptor comparison of Section III-D1 when the
+        // paper-faithful mode is configured.
         let Some(watched) = self.watchpoints.find_by_fd(fd) else {
-            // A stale trap for a watchpoint replaced after the access.
+            // A stale trap: its watchpoint was replaced or logically
+            // removed after the access. Counted, never reported — the
+            // address may already belong to a different object.
+            self.stats.stale_traps_suppressed += 1;
             return;
         };
         self.stats.traps += 1;
@@ -824,6 +861,7 @@ impl Csod {
             install_failures: d.install_failures,
             degradations: d.degradations,
             recoveries: d.recoveries,
+            teardowns_batched: self.watchpoints.stats().teardowns_batched,
             ..self.stats
         }
     }
@@ -1125,8 +1163,140 @@ mod tests {
         f.csod
             .free(&mut f.machine, &mut f.heap, ThreadId::MAIN, p)
             .unwrap();
+        // The removal is logical immediately; the register comes back at
+        // the next drain point (here: poll).
         assert!(!f.csod.is_watched(p));
+        f.csod.poll(&mut f.machine);
         assert_eq!(f.machine.free_registers(ThreadId::MAIN), 4);
+        assert_eq!(f.csod.stats().teardowns_batched, 1);
+    }
+
+    #[test]
+    fn unwatched_frees_take_the_filtered_fast_path() {
+        // Fill all four slots so later contexts go unwatched (naive
+        // policy never preempts).
+        let mut f = fixture(CsodConfig::with_policy(ReplacementPolicy::Naive));
+        for i in 0..4 {
+            let _ = malloc(&mut f, &format!("pin{i}.c:1"), 16);
+        }
+        let p = malloc(&mut f, "cold.c:1", 16);
+        assert!(!f.csod.is_watched(p));
+        let before = f.machine.counter().syscalls();
+        f.csod
+            .free(&mut f.machine, &mut f.heap, ThreadId::MAIN, p)
+            .unwrap();
+        // No teardown syscalls, and the filter skip is counted.
+        assert_eq!(f.machine.counter().syscalls(), before);
+        assert_eq!(f.csod.stats().frees_fast_filtered, 1);
+    }
+
+    #[test]
+    fn stale_trap_after_free_is_counted_never_reported() {
+        let mut f = fixture(CsodConfig::default());
+        let site = SiteToken(7);
+        f.csod.register_site(site, ctx(&f.frames, "late.c:1"));
+        let p = malloc(&mut f, "a.c:1", 64);
+        assert!(f.csod.is_watched(p));
+        // The overflow happens while watched, but the object is freed
+        // (logically unlinking the watchpoint) before the signal is
+        // drained: the trap is stale and must not produce a report — the
+        // address may already belong to a new object.
+        f.machine.set_current_site(ThreadId::MAIN, site);
+        f.machine.app_write(ThreadId::MAIN, p + 64, 8).unwrap();
+        f.csod
+            .free(&mut f.machine, &mut f.heap, ThreadId::MAIN, p)
+            .unwrap();
+        // Recycle the address for an unrelated object before polling.
+        let q = malloc(&mut f, "fresh.c:1", 64);
+        f.csod.poll(&mut f.machine);
+        assert_eq!(f.csod.stats().stale_traps_suppressed, 1);
+        // The overflow is still caught — by the free-time canary check on
+        // the old object — but never through the stale trap: no
+        // watchpoint report, so nothing can be attributed to the new
+        // object now living at the recycled address.
+        assert!(
+            !f.csod.detected_by_watchpoint(),
+            "a recycled address must not inherit the old object's trap"
+        );
+        assert_eq!(f.csod.stats().canary_free_hits, 1);
+        let _ = q;
+    }
+
+    #[test]
+    fn respawned_thread_gets_fresh_cache_and_rng_slot() {
+        let mut f = fixture(CsodConfig::default());
+        let worker = f.csod.spawn_thread(&mut f.machine);
+        let k = key(&f.frames, "w.c:1");
+        let c = ctx(&f.frames, "w.c:1");
+        let p = f
+            .csod
+            .malloc(&mut f.machine, &mut f.heap, worker, 16, k, &c)
+            .unwrap();
+        f.csod.free(&mut f.machine, &mut f.heap, worker, p).unwrap();
+        let slot = worker.as_u32() as usize;
+        assert!(f.csod.caches[slot].stats().misses > 0);
+        f.csod.exit_thread(&mut f.machine, worker).unwrap();
+        // The dead thread's slot was reset, not left with stale state.
+        let s = f.csod.caches[slot].stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (0, 0, 0));
+        // A respawned worker starts from a fresh cache and RNG slot even
+        // if the registry ever handed the same dense index back.
+        let worker2 = f.csod.spawn_thread(&mut f.machine);
+        let p2 = f
+            .csod
+            .malloc(&mut f.machine, &mut f.heap, worker2, 16, k, &c)
+            .unwrap();
+        let slot2 = worker2.as_u32() as usize;
+        assert!(f.csod.caches[slot2].stats().misses > 0);
+        f.csod.free(&mut f.machine, &mut f.heap, worker2, p2).unwrap();
+        f.csod.exit_thread(&mut f.machine, worker2).unwrap();
+    }
+
+    #[test]
+    fn deferred_and_synchronous_teardown_report_identically() {
+        use crate::config::FastPathParams;
+        let run = |fast_path: FastPathParams| {
+            let mut f = fixture(CsodConfig {
+                fast_path,
+                ..CsodConfig::default()
+            });
+            let site = SiteToken(11);
+            f.csod.register_site(site, ctx(&f.frames, "smash.c:2"));
+            let mut live = Vec::new();
+            for i in 0..32 {
+                let p = malloc(&mut f, &format!("s{}.c:1", i % 6), 48);
+                live.push(p);
+                if i % 3 == 2 {
+                    let victim = live.remove(0);
+                    f.csod
+                        .free(&mut f.machine, &mut f.heap, ThreadId::MAIN, victim)
+                        .unwrap();
+                }
+                if i == 10 {
+                    // One real overflow mid-run on a live object.
+                    f.machine.set_current_site(ThreadId::MAIN, site);
+                    let target = *live.last().unwrap();
+                    let size = f.csod.object_size(target).unwrap();
+                    f.machine.app_write(ThreadId::MAIN, target + size, 8).unwrap();
+                }
+                if i % 5 == 4 {
+                    f.csod.poll(&mut f.machine);
+                }
+            }
+            f.csod.finish(&mut f.machine);
+            let reports: Vec<_> = f
+                .csod
+                .reports()
+                .iter()
+                .map(|r| (r.method, r.ctx_id.as_u32(), r.thread.as_u32()))
+                .collect();
+            (reports, f.machine.open_events())
+        };
+        let (sync_reports, sync_open) = run(FastPathParams::synchronous_teardown());
+        let (fast_reports, fast_open) = run(FastPathParams::default());
+        assert_eq!(sync_reports, fast_reports, "detection parity");
+        assert_eq!(sync_open, 0);
+        assert_eq!(fast_open, 0, "deferred teardown must not leak events");
     }
 
     #[test]

@@ -80,6 +80,14 @@ pub struct RunSummary {
     /// Soundness counter: overflows from proven-safe contexts. Anything
     /// but zero is an analyzer bug.
     pub proven_safe_overflows: u64,
+    /// Frees the watched-address filter proved unwatched, skipping the
+    /// slot scan and retry-cancel entirely.
+    pub frees_fast_filtered: u64,
+    /// Figure-4 teardowns paid through batched drains off the free path.
+    pub teardowns_batched: u64,
+    /// Stale traps drained after logical removal — counted, never
+    /// reported.
+    pub stale_traps_suppressed: u64,
     /// System calls the tool issued.
     pub syscalls: u64,
     /// Normalized overhead of the run so far (Figure 7 metric).
@@ -114,6 +122,9 @@ impl RunSummary {
             suspicious_installs: stats.suspicious_installs,
             prior_availability_skips: stats.prior_availability_skips,
             proven_safe_overflows: stats.proven_safe_overflows,
+            frees_fast_filtered: stats.frees_fast_filtered,
+            teardowns_batched: stats.teardowns_batched,
+            stale_traps_suppressed: stats.stale_traps_suppressed,
             syscalls: machine.counter().syscalls(),
             overhead: machine.counter().normalized_overhead(),
         }
@@ -166,6 +177,11 @@ impl fmt::Display for RunSummary {
             self.recoveries,
             self.quarantined_contexts,
             if self.canary_only { "canary-only" } else { "watchpoints" }
+        )?;
+        writeln!(
+            f,
+            "free path: {} filtered free(s), {} batched teardown(s), {} stale trap(s) suppressed",
+            self.frees_fast_filtered, self.teardowns_batched, self.stale_traps_suppressed
         )?;
         if self.prior_used() {
             writeln!(

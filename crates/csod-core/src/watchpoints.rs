@@ -14,6 +14,7 @@
 //! likely have a lower chance of experiencing overflows in the future".
 
 use crate::config::WatchBackend;
+use crate::fastmap::FastMap;
 use crate::policy::ReplacementPolicy;
 use crate::sampling::CtxId;
 use csod_ctx::ContextKey;
@@ -22,6 +23,70 @@ use sim_machine::{
     Fd, FcntlCmd, IoctlCmd, Machine, PerfError, PerfEventAttr, Signal, ThreadId, VirtAddr,
     VirtDuration, VirtInstant, NUM_WATCHPOINT_REGISTERS,
 };
+
+/// Compact mirror of the live watched object addresses — at most one
+/// `u64` per watchpoint slot, so four words on real hardware.
+///
+/// The deallocation fast path reads this (a handful of integer compares)
+/// instead of scanning the slot array, so the overwhelming majority of
+/// frees — those of unwatched objects — skip the Watchpoint Management
+/// Unit entirely. The manager keeps the filter exact: an address is
+/// present if and only if a slot currently guards it, so a miss is a
+/// guaranteed "not watched".
+#[derive(Debug, Clone, Default)]
+pub struct WatchFilter {
+    addrs: Vec<u64>,
+}
+
+/// A slot index as the `u32` stored in the fd index. Slot counts are
+/// bounded by the debug-register count (a handful), so the cast is
+/// lossless.
+#[allow(clippy::cast_possible_truncation)]
+fn slot_u32(idx: usize) -> u32 {
+    idx as u32
+}
+
+impl WatchFilter {
+    /// Whether `addr` is the start of a currently watched object.
+    pub fn contains(&self, addr: VirtAddr) -> bool {
+        self.addrs.contains(&addr.as_u64())
+    }
+
+    /// Number of watched addresses in the filter.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether nothing is watched.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    fn insert(&mut self, addr: VirtAddr) {
+        self.addrs.push(addr.as_u64());
+    }
+
+    fn remove(&mut self, addr: VirtAddr) {
+        let raw = addr.as_u64();
+        if let Some(i) = self.addrs.iter().position(|&a| a == raw) {
+            self.addrs.swap_remove(i);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.addrs.clear();
+    }
+}
+
+/// One fd-index entry: which slot the descriptor belongs to and the
+/// slot's generation at insertion time. A lookup is valid only while the
+/// generation still matches — a recycled slot (or a kernel-recycled fd
+/// number) can never resolve to the wrong watchpoint.
+#[derive(Debug, Clone, Copy)]
+struct FdEntry {
+    slot: u32,
+    generation: u64,
+}
 
 /// A request to watch one freshly allocated object.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +129,11 @@ impl WatchedObject {
     /// halved once per elapsed decay period — "the probability of an
     /// existing object will be reduced when it has been installed for a
     /// long period of time".
+    ///
+    /// The decay is clamped at 31 periods: a `u32` shift by ≥ 32 would
+    /// panic in debug builds and wrap on release (`base >> (n % 32)`),
+    /// resurrecting a long-dead probability. The clamp is lossless —
+    /// any ppm value is below 2³¹, so 31 halvings already take it to 0.
     pub fn effective_probability_ppm(
         &self,
         current_ctx_ppm: Option<u32>,
@@ -118,6 +188,12 @@ pub struct WatchpointStats {
     /// Installs the backend refused (fault injection or a co-resident
     /// debugger holding the registers).
     pub install_failures: u64,
+    /// Descriptors torn down through deferred batched drains (as opposed
+    /// to the synchronous per-fd Figure-4 sequence).
+    pub teardowns_batched: u64,
+    /// Batched drains performed; `teardowns_batched / teardown_batches`
+    /// is the average batch size.
+    pub teardown_batches: u64,
 }
 
 /// The Watchpoint Management Unit.
@@ -129,6 +205,23 @@ pub struct WatchpointManager {
     slots: Vec<Option<WatchedObject>>,
     /// Near-FIFO circular cursor: next victim position.
     fifo_cursor: usize,
+    /// Exact mirror of the occupied slots' object addresses; the free
+    /// fast path reads it instead of scanning `slots`.
+    filter: WatchFilter,
+    /// Per-slot install generation; bumped on every install and logical
+    /// removal so stale fd-index entries can never resolve.
+    generations: Vec<u64>,
+    /// fd → (slot, generation) for O(1) trap dispatch.
+    fd_index: FastMap<u64, FdEntry>,
+    /// Descriptors of logically removed watchpoints awaiting their
+    /// batched Figure-4 teardown.
+    pending_teardown: Vec<Fd>,
+    /// Whether `remove_by_object` defers the physical teardown to the
+    /// next drain point instead of paying it synchronously on the free.
+    deferred_teardown: bool,
+    /// Whether `find_by_fd` uses the fd index (`true`) or the paper's
+    /// one-by-one descriptor comparison (`false`).
+    use_fd_index: bool,
     stats: WatchpointStats,
 }
 
@@ -169,7 +262,56 @@ impl WatchpointManager {
             age_decay,
             slots: (0..slots).map(|_| None).collect(),
             fifo_cursor: 0,
+            filter: WatchFilter::default(),
+            generations: vec![0; slots],
+            fd_index: FastMap::new(),
+            pending_teardown: Vec::new(),
+            deferred_teardown: false,
+            use_fd_index: false,
             stats: WatchpointStats::default(),
+        }
+    }
+
+    /// Configures the free-path optimizations: deferred batched teardown
+    /// and fd-indexed trap dispatch. Both default to off (the
+    /// paper-faithful behaviour); the runtime switches them on from
+    /// [`crate::FastPathParams`].
+    pub fn configure_fast_path(&mut self, deferred_teardown: bool, fd_index: bool) {
+        self.deferred_teardown = deferred_teardown;
+        self.use_fd_index = fd_index;
+    }
+
+    /// The compact watched-address filter. Reading it costs a few
+    /// integer compares and never touches the slot array.
+    pub fn filter(&self) -> &WatchFilter {
+        &self.filter
+    }
+
+    /// Descriptors queued for batched teardown and not yet drained.
+    pub fn pending_teardowns(&self) -> usize {
+        self.pending_teardown.len()
+    }
+
+    /// Physically tears down every queued descriptor in one batch: a
+    /// single kernel entry for the perf and combined backends, per-fd
+    /// round trips for `ptrace` (which cannot batch). Called at the
+    /// drain points — `poll()`, before any install, thread exit, and
+    /// the end of the run.
+    pub fn drain_teardowns(&mut self, machine: &mut Machine) {
+        if self.pending_teardown.is_empty() {
+            return;
+        }
+        let fds = std::mem::take(&mut self.pending_teardown);
+        self.stats.teardowns_batched += fds.len() as u64;
+        self.stats.teardown_batches += 1;
+        match self.backend {
+            WatchBackend::Ptrace => {
+                for fd in &fds {
+                    let _ = machine.sys_ptrace_unwatch(*fd);
+                }
+            }
+            WatchBackend::CombinedSyscall => machine.sys_unwatch_all(&fds),
+            WatchBackend::PerfEvent => machine.sys_teardown_batch(&fds),
         }
     }
 
@@ -215,6 +357,9 @@ impl WatchpointManager {
         rng: &mut Arc4Random,
         current_ctx_ppm: impl Fn(ContextKey) -> Option<u32>,
     ) -> InstallOutcome {
+        // Deferred teardowns still hold debug registers; release them
+        // before claiming one for the candidate.
+        self.drain_teardowns(machine);
         if let Some(free) = self.slots.iter().position(Option::is_none) {
             return match self.install_into(machine, free, candidate) {
                 Ok(()) => {
@@ -298,6 +443,11 @@ impl WatchpointManager {
 
     /// Removes the watchpoint guarding `object_start`, if any — called on
     /// deallocation. Returns whether one was removed.
+    ///
+    /// With deferred teardown enabled the removal is *logical*: the slot
+    /// is vacated, the filter and fd index are purged (so a later trap
+    /// from the still-armed hardware watchpoint is recognized as stale),
+    /// and the Figure-4 syscalls are queued for the next batched drain.
     pub fn remove_by_object(&mut self, machine: &mut Machine, object_start: VirtAddr) -> bool {
         let Some(idx) = self
             .slots
@@ -306,15 +456,36 @@ impl WatchpointManager {
         else {
             return false;
         };
-        self.remove_slot(machine, idx);
+        if self.deferred_teardown {
+            self.unlink_slot(idx);
+        } else {
+            self.remove_slot(machine, idx);
+        }
         self.stats.removals_on_free += 1;
         true
     }
 
-    /// The watched object owning `fd`, if any. The signal handler uses
-    /// this to identify which watchpoint fired (Section III-D1), by
-    /// comparing the descriptor against each saved one.
+    /// The watched object owning `fd`, if any — how the signal handler
+    /// identifies which watchpoint fired. With the fd index enabled this
+    /// is one hash probe plus a generation check; otherwise it falls
+    /// back to [`WatchpointManager::find_by_fd_scan`].
     pub fn find_by_fd(&self, fd: Fd) -> Option<&WatchedObject> {
+        if self.use_fd_index {
+            let entry = self.fd_index.get(fd.as_raw())?;
+            let idx = entry.slot as usize;
+            if self.generations.get(idx).copied() == Some(entry.generation) {
+                return self.slots[idx].as_ref();
+            }
+            return None;
+        }
+        self.find_by_fd_scan(fd)
+    }
+
+    /// The paper-faithful dispatch of Section III-D1: "CSOD compares the
+    /// current file descriptor with each of these saved file descriptors
+    /// one-by-one". Kept behind the config flag and as the parity oracle
+    /// for the fd index.
+    pub fn find_by_fd_scan(&self, fd: Fd) -> Option<&WatchedObject> {
         self.slots
             .iter()
             .flatten()
@@ -357,7 +528,16 @@ impl WatchpointManager {
                 continue;
             };
             match open_watch_event(machine, backend, slot.canary_addr, tid) {
-                Ok(fd) => slot.fds.push((tid, fd)),
+                Ok(fd) => {
+                    slot.fds.push((tid, fd));
+                    self.fd_index.insert(
+                        fd.as_raw(),
+                        FdEntry {
+                            slot: slot_u32(idx),
+                            generation: self.generations[idx],
+                        },
+                    );
+                }
                 Err(_) => {
                     self.stats.install_failures += 1;
                     self.remove_slot(machine, idx);
@@ -369,18 +549,30 @@ impl WatchpointManager {
     /// Forgets descriptors pinned to an exited thread (the kernel closes
     /// them with the thread; see [`Machine::exit_thread`]).
     pub fn forget_thread(&mut self, tid: ThreadId) {
+        let fd_index = &mut self.fd_index;
         for slot in self.slots.iter_mut().flatten() {
-            slot.fds.retain(|&(t, _)| t != tid);
+            slot.fds.retain(|&(t, fd)| {
+                if t == tid {
+                    fd_index.remove(fd.as_raw());
+                    false
+                } else {
+                    true
+                }
+            });
         }
     }
 
-    /// Removes every watchpoint (end of execution).
+    /// Removes every watchpoint (end of execution), including any
+    /// teardowns still queued from deferred removals.
     pub fn remove_all(&mut self, machine: &mut Machine) {
         for idx in 0..self.slots.len() {
             if self.slots[idx].is_some() {
                 self.remove_slot(machine, idx);
             }
         }
+        self.drain_teardowns(machine);
+        self.filter.clear();
+        self.fd_index.clear();
     }
 
     fn install_into(
@@ -415,6 +607,18 @@ impl WatchpointManager {
                 fds
             }
         };
+        self.generations[idx] = self.generations[idx].wrapping_add(1);
+        let generation = self.generations[idx];
+        for &(_tid, fd) in &fds {
+            self.fd_index.insert(
+                fd.as_raw(),
+                FdEntry {
+                    slot: slot_u32(idx),
+                    generation,
+                },
+            );
+        }
+        self.filter.insert(candidate.object_start);
         self.slots[idx] = Some(WatchedObject {
             object_start: candidate.object_start,
             canary_addr: candidate.canary_addr,
@@ -427,8 +631,30 @@ impl WatchpointManager {
         Ok(())
     }
 
+    /// Logically removes the watchpoint in slot `idx` without issuing any
+    /// syscalls: the slot, the watched-address filter, and the fd index
+    /// forget it immediately — so a trap from the still-armed hardware
+    /// watchpoint is *stale* (counted, never reported) — while the
+    /// Figure-4 `ioctl`/`close` sequence is queued for the next batched
+    /// drain. The generation bump guarantees a recycled slot never
+    /// resolves through a stale fd-index entry.
+    fn unlink_slot(&mut self, idx: usize) {
+        let watched = self.slots[idx].take().expect("slot occupied");
+        self.filter.remove(watched.object_start);
+        self.generations[idx] = self.generations[idx].wrapping_add(1);
+        for (_tid, fd) in watched.fds {
+            self.fd_index.remove(fd.as_raw());
+            self.pending_teardown.push(fd);
+        }
+    }
+
     fn remove_slot(&mut self, machine: &mut Machine, idx: usize) {
         let watched = self.slots[idx].take().expect("slot occupied");
+        self.filter.remove(watched.object_start);
+        self.generations[idx] = self.generations[idx].wrapping_add(1);
+        for &(_tid, fd) in &watched.fds {
+            self.fd_index.remove(fd.as_raw());
+        }
         match self.backend {
             WatchBackend::PerfEvent => {
                 // Figure 4: disable the event and close the descriptor on
@@ -757,5 +983,151 @@ mod tests {
         w.remove_all(&mut m);
         assert_eq!(w.watched_count(), 0);
         assert_eq!(m.open_events(), 0);
+    }
+
+    #[test]
+    fn decay_saturates_instead_of_wrapping() {
+        // Installed for far more than 31 decay periods: the shift clamp
+        // must take the probability to 0, not wrap around to a large
+        // value (u32 >> 32 would).
+        let (mut m, base) = machine_with_heap();
+        let frames = FrameTable::new();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        let c = candidate(&frames, base, 0, 1_000_000);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        let decay = VirtDuration::from_secs(10);
+        let watched = w.find_by_fd_scan(w.slots[0].as_ref().unwrap().fds[0].1).unwrap();
+        for secs in [320u64, 400, 100_000] {
+            let now = m.now() + VirtDuration::from_secs(secs);
+            assert_eq!(watched.effective_probability_ppm(Some(1_000_000), now, decay), 0);
+        }
+        // Right at the clamp boundary: 31 periods of a full-scale ppm.
+        let now = m.now() + VirtDuration::from_secs(310);
+        assert_eq!(watched.effective_probability_ppm(Some(1_000_000), now, decay), 0);
+    }
+
+    #[test]
+    fn filter_tracks_watched_addresses_exactly() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        assert!(w.filter().is_empty());
+        let a = candidate(&frames, base, 0, 10);
+        let b = candidate(&frames, base, 1, 10);
+        w.consider(&mut m, a, &mut rng, |_| None);
+        w.consider(&mut m, b, &mut rng, |_| None);
+        assert!(w.filter().contains(a.object_start));
+        assert!(w.filter().contains(b.object_start));
+        assert!(!w.filter().contains(base + 9 * 64));
+        w.remove_by_object(&mut m, a.object_start);
+        assert!(!w.filter().contains(a.object_start));
+        assert!(w.filter().contains(b.object_start));
+        w.remove_all(&mut m);
+        assert!(w.filter().is_empty());
+    }
+
+    #[test]
+    fn deferred_unlink_queues_teardown_until_drain() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        w.configure_fast_path(true, true);
+        let c = candidate(&frames, base, 0, 10);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        let before = m.counter().syscalls();
+        assert!(w.remove_by_object(&mut m, c.object_start));
+        // Logical removal: no syscalls yet, register still held, but the
+        // filter and slot no longer know the object.
+        assert_eq!(m.counter().syscalls(), before);
+        assert_eq!(m.free_registers(ThreadId::MAIN), 3);
+        assert!(!w.is_watched(c.object_start));
+        assert!(!w.filter().contains(c.object_start));
+        assert_eq!(w.pending_teardowns(), 1);
+        w.drain_teardowns(&mut m);
+        assert_eq!(m.counter().syscalls(), before + 1);
+        assert_eq!(m.free_registers(ThreadId::MAIN), 4);
+        assert_eq!(w.pending_teardowns(), 0);
+        assert_eq!(w.stats().teardowns_batched, 1);
+        assert_eq!(w.stats().teardown_batches, 1);
+    }
+
+    #[test]
+    fn consider_drains_pending_teardowns_first() {
+        // All four registers are tied up in deferred teardowns; a new
+        // install must drain them first instead of failing with EBUSY.
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        w.configure_fast_path(true, true);
+        let cs: Vec<WatchCandidate> = (0..4).map(|i| candidate(&frames, base, i, 10)).collect();
+        for c in &cs {
+            w.consider(&mut m, *c, &mut rng, |_| None);
+        }
+        for c in &cs {
+            w.remove_by_object(&mut m, c.object_start);
+        }
+        assert_eq!(w.pending_teardowns(), 4);
+        assert_eq!(m.free_registers(ThreadId::MAIN), 0);
+        let out = w.consider(&mut m, candidate(&frames, base, 9, 10), &mut rng, |_| None);
+        assert_eq!(out, InstallOutcome::InstalledFree);
+        assert_eq!(w.pending_teardowns(), 0);
+    }
+
+    #[test]
+    fn fd_index_agrees_with_paper_scan() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let worker = m.spawn_thread();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        w.configure_fast_path(true, true);
+        for i in 0..4 {
+            w.consider(&mut m, candidate(&frames, base, i, 10), &mut rng, |_| None);
+        }
+        // Every live descriptor resolves identically through the index
+        // and through the Section III-D1 linear scan.
+        let fds: Vec<Fd> = w
+            .slots
+            .iter()
+            .flatten()
+            .flat_map(|s| s.fds.iter().map(|&(_, fd)| fd))
+            .collect();
+        assert_eq!(fds.len(), 8); // 4 slots × 2 threads
+        for fd in fds {
+            let via_index = w.find_by_fd(fd).map(|o| o.object_start);
+            let via_scan = w.find_by_fd_scan(fd).map(|o| o.object_start);
+            assert_eq!(via_index, via_scan);
+            assert!(via_index.is_some());
+        }
+        // A descriptor that never belonged to a watchpoint misses both ways.
+        let bogus = Fd::from_raw(u64::MAX);
+        assert!(w.find_by_fd(bogus).is_none());
+        assert!(w.find_by_fd_scan(bogus).is_none());
+        m.exit_thread(worker).unwrap();
+    }
+
+    #[test]
+    fn generation_counter_rejects_stale_index_entries() {
+        let frames = FrameTable::new();
+        let (mut m, base) = machine_with_heap();
+        let mut rng = Arc4Random::from_seed(1, 0);
+        let mut w = manager(ReplacementPolicy::Naive);
+        w.configure_fast_path(true, true);
+        let c = candidate(&frames, base, 0, 10);
+        w.consider(&mut m, c, &mut rng, |_| None);
+        let stale_fd = w.slots[0].as_ref().unwrap().fds[0].1;
+        w.remove_by_object(&mut m, c.object_start);
+        // The old fd must not resolve — neither before nor after the slot
+        // is recycled for a different object.
+        assert!(w.find_by_fd(stale_fd).is_none());
+        let fresh = candidate(&frames, base, 1, 10);
+        w.consider(&mut m, fresh, &mut rng, |_| None);
+        assert!(w.find_by_fd(stale_fd).is_none());
+        let fresh_fd = w.slots[0].as_ref().unwrap().fds[0].1;
+        assert_eq!(w.find_by_fd(fresh_fd).unwrap().object_start, fresh.object_start);
     }
 }

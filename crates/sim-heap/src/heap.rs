@@ -5,6 +5,38 @@ use crate::stats::HeapStats;
 use sim_machine::{CostDomain, Machine, VirtAddr};
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One fxhash round for the live-object table. The default SipHash
+/// hasher costs more than the rest of `malloc`/`free` bookkeeping put
+/// together; addresses are already high-entropy in the low bits, so a
+/// single multiply mixes plenty.
+#[derive(Debug, Default)]
+struct AddrHasher(u64);
+
+/// The 64-bit `fxhash` multiplier (golden-ratio based).
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for AddrHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        // Only u64 keys are ever hashed; tolerate other widths anyway.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = (self.0.rotate_left(5) ^ value).wrapping_mul(FX_SEED);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0 ^ (self.0 >> 32)
+    }
+}
+
+type AddrMap<V> = HashMap<u64, V, BuildHasherDefault<AddrHasher>>;
 
 /// Errors produced by heap operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -92,7 +124,7 @@ pub struct SimHeap {
     free_lists: Vec<Vec<VirtAddr>>,
     /// Freed large blocks, linear first-fit.
     large_free: Vec<(VirtAddr, u64)>,
-    live: HashMap<u64, LiveObject>,
+    live: AddrMap<LiveObject>,
     stats: HeapStats,
 }
 
@@ -110,7 +142,7 @@ impl SimHeap {
             wilderness: config.base,
             free_lists: vec![Vec::new(); NUM_CLASSES],
             large_free: Vec::new(),
-            live: HashMap::new(),
+            live: AddrMap::default(),
             stats: HeapStats::default(),
         })
     }
@@ -126,6 +158,7 @@ impl SimHeap {
     ///
     /// Returns [`HeapError::OutOfMemory`] when the region is exhausted or
     /// when the machine's fault plan injects allocator pressure.
+    #[inline]
     pub fn malloc(&mut self, machine: &mut Machine, size: u64) -> Result<VirtAddr, HeapError> {
         machine.charge(CostDomain::App, machine.costs().malloc_base);
         if machine.fault_alloc_fails() {
@@ -237,6 +270,7 @@ impl SimHeap {
     ///
     /// Returns [`HeapError::InvalidPointer`] for wild pointers and double
     /// frees.
+    #[inline]
     pub fn free(&mut self, machine: &mut Machine, addr: VirtAddr) -> Result<u64, HeapError> {
         machine.charge(CostDomain::App, machine.costs().free_base);
         let obj = self

@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::perf)]
 
 mod heap;
 mod size_class;

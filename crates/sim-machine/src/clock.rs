@@ -197,6 +197,7 @@ impl Clock {
     }
 
     /// Advances the clock by `d`.
+    #[inline]
     pub fn advance(&mut self, d: VirtDuration) {
         self.now = self.now + d;
     }

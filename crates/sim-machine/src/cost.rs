@@ -105,6 +105,14 @@ pub struct CostModel {
     pub combined_watch: u64,
     /// ...plus this much per additional thread inside the kernel.
     pub combined_watch_per_thread: u64,
+    /// Fixed entry cost of a batched watchpoint teardown
+    /// ([`crate::Machine::sys_teardown_batch`]): one kernel entry that
+    /// runs the Figure-4 `ioctl(DISABLE)` + `close` sequence for a whole
+    /// batch of descriptors, amortizing the entry over the batch...
+    pub teardown_batch: u64,
+    /// ...plus this much per descriptor inside the kernel — much cheaper
+    /// than the two full syscalls the synchronous route pays per fd.
+    pub teardown_batch_per_fd: u64,
     /// Processing one PMU (PEBS-style) memory-access sample — the cost
     /// driver of the Sampler baseline (Silvestro et al., MICRO'18),
     /// which the paper discusses as concurrent work.
@@ -140,6 +148,8 @@ impl Default for CostModel {
             ptrace_detach: 5_000,
             combined_watch: 1_000,
             combined_watch_per_thread: 150,
+            teardown_batch: 400,
+            teardown_batch_per_fd: 120,
             pmu_sample: 350,
             csod_init: 500_000,
             asan_init: 1_000_000,
@@ -172,6 +182,8 @@ impl CostModel {
             ptrace_detach: 0,
             combined_watch: 0,
             combined_watch_per_thread: 0,
+            teardown_batch: 0,
+            teardown_batch_per_fd: 0,
             pmu_sample: 0,
             csod_init: 0,
             asan_init: 0,
@@ -198,6 +210,7 @@ impl CycleCounter {
 
     /// Charges `ns` nanoseconds to `domain` and returns the amount as a
     /// duration so the machine clock can advance by the same span.
+    #[inline]
     pub fn charge(&mut self, domain: CostDomain, ns: u64) -> VirtDuration {
         match domain {
             CostDomain::App => self.app_ns += ns,
@@ -208,11 +221,13 @@ impl CycleCounter {
     }
 
     /// Records one system call (the cost itself is charged separately).
+    #[inline]
     pub fn count_syscall(&mut self) {
         self.syscalls += 1;
     }
 
     /// Records one application memory access.
+    #[inline]
     pub fn count_access(&mut self) {
         self.accesses += 1;
     }

@@ -49,6 +49,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::perf)]
 
 mod addr;
 mod clock;

@@ -185,6 +185,7 @@ impl Machine {
     }
 
     /// The cost model in effect.
+    #[inline]
     pub fn costs(&self) -> &CostModel {
         &self.cost
     }
@@ -196,6 +197,7 @@ impl Machine {
 
     /// Charges `ns` nanoseconds of CPU time to `domain` and advances the
     /// clock by the same amount.
+    #[inline]
     pub fn charge(&mut self, domain: CostDomain, ns: u64) {
         let d = self.counter.charge(domain, ns);
         self.clock.advance(d);
@@ -231,6 +233,7 @@ impl Machine {
     }
 
     /// Whether `[addr, addr+len)` is fully mapped.
+    #[inline]
     pub fn is_mapped(&self, addr: VirtAddr, len: u64) -> bool {
         self.mem.is_mapped(addr, len)
     }
@@ -256,6 +259,7 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] when the range is not mapped.
+    #[inline]
     pub fn raw_read_bytes(&self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), MemoryError> {
         self.mem.read_bytes(addr, buf)
     }
@@ -265,6 +269,7 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] when the range is not mapped.
+    #[inline]
     pub fn raw_write_bytes(&mut self, addr: VirtAddr, data: &[u8]) -> Result<(), MemoryError> {
         self.mem.write_bytes(addr, data)
     }
@@ -274,6 +279,7 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] when the word is not mapped.
+    #[inline]
     pub fn raw_load_u64(&self, addr: VirtAddr) -> Result<u64, MemoryError> {
         self.mem.load_u64(addr)
     }
@@ -283,6 +289,7 @@ impl Machine {
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] when the word is not mapped.
+    #[inline]
     pub fn raw_store_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemoryError> {
         self.mem.store_u64(addr, value)
     }
@@ -346,8 +353,8 @@ impl Machine {
             kind,
             count: 1,
         });
-        let site = self.site_of(tid);
         if !self.mem.is_mapped(addr, len) {
+            let site = self.site_of(tid);
             self.record(LogEvent::SignalRaised {
                 signal: Signal::Segv,
                 thread: tid,
@@ -372,6 +379,9 @@ impl Machine {
         }
         let range = AddrRange::new(addr, len);
         for hit in self.perf.check_access(tid, range, kind) {
+            // The site lookup only matters once a trap actually fires —
+            // keep it off the unwatched-access path.
+            let site = self.site_of(tid);
             self.traps_fired += 1;
             // The hardware trap happened either way; a fault plan can
             // still lose or postpone the *delivery* of the signal.
@@ -768,6 +778,28 @@ impl Machine {
         }
     }
 
+    /// Batched watchpoint teardown: a single kernel entry runs the
+    /// Figure-4 `ioctl(PERF_EVENT_IOC_DISABLE)` + `close` sequence for
+    /// every given descriptor, amortizing the kernel-entry cost over the
+    /// batch. Descriptors already closed (e.g. auto-closed when their
+    /// thread exited) are skipped silently, as `close` on a stale fd
+    /// would be.
+    pub fn sys_teardown_batch(&mut self, fds: &[Fd]) {
+        if fds.is_empty() {
+            return;
+        }
+        self.record(LogEvent::Syscall {
+            name: "teardown_batch",
+        });
+        self.syscall_cost(
+            self.cost.teardown_batch + self.cost.teardown_batch_per_fd * fds.len() as u64,
+        );
+        for fd in fds {
+            let _ = self.perf.ioctl(*fd, IoctlCmd::Disable);
+            let _ = self.perf.close(*fd);
+        }
+    }
+
     fn syscall_cost(&mut self, ns: u64) {
         self.counter.count_syscall();
         self.charge(CostDomain::Tool, ns);
@@ -1043,6 +1075,25 @@ mod tests {
         assert_eq!(err, Err(PerfError::NoFreeRegister(worker)));
         // MAIN's register claimed during the attempt was rolled back.
         assert_eq!(m.free_registers(ThreadId::MAIN), 4);
+    }
+
+    #[test]
+    fn teardown_batch_closes_all_in_one_entry() {
+        let (mut m, base) = machine_with_heap();
+        let a = configured_watch(&mut m, base + 64, ThreadId::MAIN);
+        let b = configured_watch(&mut m, base + 128, ThreadId::MAIN);
+        let syscalls = m.counter().syscalls();
+        m.sys_teardown_batch(&[a, b]);
+        assert_eq!(m.counter().syscalls(), syscalls + 1, "one kernel entry");
+        assert_eq!(m.open_events(), 0);
+        assert_eq!(m.free_registers(ThreadId::MAIN), 4);
+        // An empty batch never enters the kernel; stale fds are skipped
+        // silently (close on an already-closed descriptor).
+        m.sys_teardown_batch(&[]);
+        assert_eq!(m.counter().syscalls(), syscalls + 1);
+        m.sys_teardown_batch(&[a]);
+        assert_eq!(m.counter().syscalls(), syscalls + 2);
+        assert_eq!(m.open_events(), 0);
     }
 
     #[test]

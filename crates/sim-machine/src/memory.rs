@@ -111,6 +111,7 @@ impl Region {
         });
     }
 
+    #[inline]
     fn chunk_mut<'a>(
         chunks: &'a mut [Option<Box<[u8]>>],
         resident: &mut u64,
@@ -214,6 +215,7 @@ impl AddressSpace {
     }
 
     /// Returns `true` if every byte of `[addr, addr + len)` is mapped.
+    #[inline]
     pub fn is_mapped(&self, addr: VirtAddr, len: u64) -> bool {
         self.region_containing(addr, len).is_some()
     }
@@ -234,6 +236,7 @@ impl AddressSpace {
     ///
     /// Returns [`MemoryError::Unmapped`] if the access is not fully inside
     /// one mapped region.
+    #[inline]
     pub fn read_bytes(&self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), MemoryError> {
         let region = self.region_or_fault(addr, buf.len() as u64)?;
         region.read(addr - region.range.start(), buf);
@@ -246,17 +249,13 @@ impl AddressSpace {
     ///
     /// Returns [`MemoryError::Unmapped`] if the access is not fully inside
     /// one mapped region.
+    #[inline]
     pub fn write_bytes(&mut self, addr: VirtAddr, data: &[u8]) -> Result<(), MemoryError> {
         let len = data.len() as u64;
-        // Two-phase lookup keeps the borrow checker happy: find the base,
-        // then mutate.
-        let base = self
-            .region_containing(addr, len)
-            .ok_or(MemoryError::Unmapped { addr, len })?
-            .range
-            .start();
-        let region = self.regions.get_mut(&base.as_u64()).expect("region just found");
-        region.write(addr - base, data);
+        let region = self
+            .region_containing_mut(addr, len)
+            .ok_or(MemoryError::Unmapped { addr, len })?;
+        region.write(addr - region.range.start(), data);
         Ok(())
     }
 
@@ -266,13 +265,10 @@ impl AddressSpace {
     ///
     /// Returns [`MemoryError::Unmapped`] if the range is not fully mapped.
     pub fn fill(&mut self, addr: VirtAddr, len: u64, byte: u8) -> Result<(), MemoryError> {
-        let base = self
-            .region_containing(addr, len)
-            .ok_or(MemoryError::Unmapped { addr, len })?
-            .range
-            .start();
-        let region = self.regions.get_mut(&base.as_u64()).expect("region just found");
-        region.fill(addr - base, len, byte);
+        let region = self
+            .region_containing_mut(addr, len)
+            .ok_or(MemoryError::Unmapped { addr, len })?;
+        region.fill(addr - region.range.start(), len, byte);
         Ok(())
     }
 
@@ -281,9 +277,23 @@ impl AddressSpace {
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] if the eight bytes are not mapped.
+    #[inline]
     pub fn load_u64(&self, addr: VirtAddr) -> Result<u64, MemoryError> {
+        let region = self.region_or_fault(addr, 8)?;
+        let offset = addr - region.range.start();
+        let start = (offset % CHUNK) as usize;
+        if start <= CHUNK as usize - 8 {
+            // Word lies inside one chunk — the overwhelmingly common case
+            // (allocator headers and canaries are 8-byte aligned).
+            return Ok(match &region.chunks[(offset / CHUNK) as usize] {
+                Some(bytes) => {
+                    u64::from_le_bytes(bytes[start..start + 8].try_into().expect("8 bytes"))
+                }
+                None => 0,
+            });
+        }
         let mut buf = [0u8; 8];
-        self.read_bytes(addr, &mut buf)?;
+        region.read(offset, &mut buf);
         Ok(u64::from_le_bytes(buf))
     }
 
@@ -292,8 +302,20 @@ impl AddressSpace {
     /// # Errors
     ///
     /// Returns [`MemoryError::Unmapped`] if the eight bytes are not mapped.
+    #[inline]
     pub fn store_u64(&mut self, addr: VirtAddr, value: u64) -> Result<(), MemoryError> {
-        self.write_bytes(addr, &value.to_le_bytes())
+        let region = self
+            .region_containing_mut(addr, 8)
+            .ok_or(MemoryError::Unmapped { addr, len: 8 })?;
+        let offset = addr - region.range.start();
+        let start = (offset % CHUNK) as usize;
+        if start <= CHUNK as usize - 8 {
+            let chunk = Region::chunk_mut(&mut region.chunks, &mut region.resident, offset / CHUNK);
+            chunk[start..start + 8].copy_from_slice(&value.to_le_bytes());
+            return Ok(());
+        }
+        region.write(offset, &value.to_le_bytes());
+        Ok(())
     }
 
     fn find_overlap(&self, range: &AddrRange) -> Option<&Region> {
@@ -303,6 +325,7 @@ impl AddressSpace {
             .find(|r| r.range.overlaps(range))
     }
 
+    #[inline]
     fn region_containing(&self, addr: VirtAddr, len: u64) -> Option<&Region> {
         let end = addr.checked_add(len)?;
         let (_, region) = self.regions.range(..=addr.as_u64()).next_back()?;
@@ -313,6 +336,18 @@ impl AddressSpace {
         }
     }
 
+    #[inline]
+    fn region_containing_mut(&mut self, addr: VirtAddr, len: u64) -> Option<&mut Region> {
+        let end = addr.checked_add(len)?;
+        let (_, region) = self.regions.range_mut(..=addr.as_u64()).next_back()?;
+        if region.range.contains(addr) && end <= region.range.end() && len > 0 {
+            Some(region)
+        } else {
+            None
+        }
+    }
+
+    #[inline]
     fn region_or_fault(&self, addr: VirtAddr, len: u64) -> Result<&Region, MemoryError> {
         self.region_containing(addr, len)
             .ok_or(MemoryError::Unmapped { addr, len })

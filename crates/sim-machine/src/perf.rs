@@ -195,7 +195,10 @@ pub struct FiredWatchpoint {
 #[derive(Debug)]
 pub struct PerfSubsystem {
     events: HashMap<u64, PerfEvent>,
-    registers: HashMap<ThreadId, DebugRegisterFile>,
+    /// Register files indexed by dense thread id (ids are sequential and
+    /// never reused); `None` for threads that never armed a watch or
+    /// have exited. The access-check hot path indexes straight in.
+    registers: Vec<Option<DebugRegisterFile>>,
     registers_per_thread: usize,
     next_fd: u64,
     /// Total breakpoint events ever opened (for Table IV's "watched
@@ -225,7 +228,7 @@ impl PerfSubsystem {
         assert!(n > 0, "at least one debug register");
         PerfSubsystem {
             events: HashMap::new(),
-            registers: HashMap::new(),
+            registers: Vec::new(),
             registers_per_thread: n,
             // fd 0..2 are stdio on a real process; start above them.
             next_fd: 3,
@@ -254,11 +257,13 @@ impl PerfSubsystem {
         }
         let fd = Fd(self.next_fd);
         let n = self.registers_per_thread;
-        let regs = self
-            .registers
-            .entry(tid)
-            .or_insert_with(|| DebugRegisterFile::with_registers(n));
-        if regs.claim(fd).is_none() {
+        let idx = tid.as_u32() as usize;
+        if self.registers.len() <= idx {
+            self.registers.resize_with(idx + 1, || None);
+        }
+        let regs = self.registers[idx]
+            .get_or_insert_with(|| DebugRegisterFile::with_registers(n));
+        if regs.claim(fd, attr.range()).is_none() {
             return Err(PerfError::NoFreeRegister(tid));
         }
         self.next_fd += 1;
@@ -319,10 +324,15 @@ impl PerfSubsystem {
     /// Returns [`PerfError::BadFd`] for descriptors that are not open.
     pub fn close(&mut self, fd: Fd) -> Result<(), PerfError> {
         let event = self.events.remove(&fd.0).ok_or(PerfError::BadFd(fd))?;
-        if let Some(regs) = self.registers.get_mut(&event.tid) {
+        if let Some(Some(regs)) = self.registers.get_mut(event.tid.as_u32() as usize) {
             regs.release(fd);
         }
         Ok(())
+    }
+
+    /// The register file of `tid`, if the thread ever armed a watch.
+    fn reg_file(&self, tid: ThreadId) -> Option<&DebugRegisterFile> {
+        self.registers.get(tid.as_u32() as usize)?.as_ref()
     }
 
     /// Checks an access by `tid` against the thread's enabled breakpoints
@@ -338,19 +348,29 @@ impl PerfSubsystem {
         range: AddrRange,
         kind: crate::AccessKind,
     ) -> Vec<FiredWatchpoint> {
-        let Some(regs) = self.registers.get(&tid) else {
+        let Some(regs) = self.reg_file(tid) else {
             return Vec::new();
         };
-        regs.occupants()
-            .filter_map(|fd| {
+        // The register file mirrors the armed ranges (as DR0-DR3 do on
+        // real hardware): one bounding-range comparison rejects almost
+        // every access without touching the event table.
+        let Some(bounds) = regs.bounds() else {
+            return Vec::new();
+        };
+        if !bounds.overlaps(&range) {
+            return Vec::new();
+        }
+        regs.armed()
+            .filter_map(|(fd, watched)| {
+                if !watched.overlaps(&range) {
+                    return None;
+                }
                 let event = self.events.get(&fd.0)?;
-                let fires = event.enabled
-                    && event.async_notify
-                    && event.attr.bp_type.matches(kind)
-                    && event.attr.range().overlaps(&range);
+                let fires =
+                    event.enabled && event.async_notify && event.attr.bp_type.matches(kind);
                 fires.then_some(FiredWatchpoint {
                     fd,
-                    watched: event.attr.range(),
+                    watched,
                     sig: event.sig,
                     owner: event.owner,
                 })
@@ -361,8 +381,7 @@ impl PerfSubsystem {
     /// Free debug registers on `tid` (all of them if the thread never
     /// had a watch).
     pub fn free_registers(&self, tid: ThreadId) -> usize {
-        self.registers
-            .get(&tid)
+        self.reg_file(tid)
             .map_or(self.registers_per_thread, DebugRegisterFile::free_count)
     }
 
@@ -378,7 +397,9 @@ impl PerfSubsystem {
         for fd in &doomed {
             let _ = self.close(*fd);
         }
-        self.registers.remove(&tid);
+        if let Some(slot) = self.registers.get_mut(tid.as_u32() as usize) {
+            *slot = None;
+        }
         doomed
     }
 

@@ -112,6 +112,13 @@ pub struct RunOutcome {
     /// CSOD with priors: overflows from proven-safe contexts. Any
     /// nonzero value is an analyzer soundness bug.
     pub proven_safe_overflows: u64,
+    /// CSOD: frees the watched-address filter proved unwatched.
+    pub frees_fast_filtered: u64,
+    /// CSOD: Figure-4 teardowns paid through batched drains.
+    pub teardowns_batched: u64,
+    /// CSOD: stale traps drained after logical removal (counted, never
+    /// reported).
+    pub stale_traps_suppressed: u64,
     /// System calls issued.
     pub syscalls: u64,
     /// Rendered bug reports.
@@ -499,6 +506,9 @@ impl<'r> TraceRunner<'r> {
                 outcome.suspicious_installs = stats.suspicious_installs;
                 outcome.prior_availability_skips = stats.prior_availability_skips;
                 outcome.proven_safe_overflows = stats.proven_safe_overflows;
+                outcome.frees_fast_filtered = stats.frees_fast_filtered;
+                outcome.teardowns_batched = stats.teardowns_batched;
+                outcome.stale_traps_suppressed = stats.stale_traps_suppressed;
                 outcome.context_watch_counts = csod
                     .sampling()
                     .snapshot()

@@ -8,11 +8,13 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::perf)]
 
 mod buggy;
 mod chaos;
 mod driver;
 mod fuzz;
+mod parallel;
 mod perf;
 mod scenario;
 mod sites;
@@ -21,6 +23,7 @@ mod trace;
 pub use buggy::{BuggyApp, OverflowKind};
 pub use chaos::{run_chaos_soak, ChaosConfig, ChaosOutcome};
 pub use driver::{RunOutcome, ToolSpec, TraceRunner};
+pub use parallel::{run_chaos_fleet, run_parallel, run_traces_parallel};
 pub use fuzz::{FuzzBug, FuzzWorkload};
 pub use perf::PerfApp;
 pub use scenario::ScenarioBuilder;

@@ -1,0 +1,156 @@
+//! Parallel scenario driver: fans independent scenarios across OS
+//! threads.
+//!
+//! Every simulated execution in this workspace is self-contained — one
+//! [`sim_machine::Machine`], one heap, one runtime — so a batch of
+//! scenarios is embarrassingly parallel as long as each job builds its
+//! own world. The driver here does exactly that: workers pull scenario
+//! indices from a shared atomic counter (so slow scenarios don't stall a
+//! pre-partitioned stripe) and run each one to completion on its own OS
+//! thread. Results come back in input order, and per-scenario
+//! determinism is untouched: a scenario's outcome depends only on its
+//! own config and seed, never on scheduling.
+
+use crate::chaos::{run_chaos_soak, ChaosConfig, ChaosOutcome};
+use crate::driver::{RunOutcome, ToolSpec, TraceRunner};
+use crate::sites::SiteRegistry;
+use crate::trace::Event;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Runs `job` over every input, fanned across at most `threads` OS
+/// threads, and returns the outputs in input order.
+///
+/// Workers claim inputs through a shared counter, so an uneven mix of
+/// cheap and expensive scenarios still keeps every thread busy. A
+/// panicking job propagates the panic to the caller.
+pub fn run_parallel<I, O, F>(inputs: &[I], threads: usize, job: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    if inputs.is_empty() {
+        return Vec::new();
+    }
+    let workers = threads.clamp(1, inputs.len());
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, O)> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(input) = inputs.get(i) else { break };
+                        out.push((i, job(input)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("scenario job panicked"))
+            .collect()
+    });
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, o)| o).collect()
+}
+
+/// Runs one chaos soak per config, in parallel. Each soak owns its own
+/// machine, heap and runtime, so the fleet's outcomes are bit-identical
+/// to running the same configs serially.
+pub fn run_chaos_fleet(configs: &[ChaosConfig], threads: usize) -> Vec<ChaosOutcome> {
+    run_parallel(configs, threads, run_chaos_soak)
+}
+
+/// Runs one [`TraceRunner`] execution per trace against a shared site
+/// registry, in parallel — the scaling path for the benchmark and
+/// effectiveness suites.
+pub fn run_traces_parallel(
+    registry: &SiteRegistry,
+    tool: &ToolSpec,
+    traces: &[Vec<Event>],
+    threads: usize,
+) -> Vec<RunOutcome> {
+    run_parallel(traces, threads, |trace| {
+        TraceRunner::new(registry, tool.clone()).run(trace.iter().cloned())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csod_core::CsodConfig;
+    use csod_ctx::FrameTable;
+    use sim_machine::AccessKind;
+    use sim_machine::SiteToken;
+    use std::sync::Arc;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let inputs: Vec<u64> = (0..100).collect();
+        let squares = run_parallel(&inputs, 8, |&n| n * n);
+        assert_eq!(squares.len(), 100);
+        for (i, sq) in squares.iter().enumerate() {
+            assert_eq!(*sq, (i as u64) * (i as u64));
+        }
+        // Degenerate shapes: more threads than inputs, and one thread.
+        assert_eq!(run_parallel(&inputs[..3], 64, |&n| n + 1), vec![1, 2, 3]);
+        assert_eq!(run_parallel(&inputs[..3], 1, |&n| n + 1), vec![1, 2, 3]);
+        assert!(run_parallel::<u64, u64, _>(&[], 4, |&n| n).is_empty());
+    }
+
+    fn small_soak(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            allocations: 2_000,
+            sites: 8,
+            ring: 16,
+            thread_churn: 1,
+            ..ChaosConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_member_matches_serial_soak_exactly() {
+        let configs: Vec<ChaosConfig> = (0..4).map(|i| small_soak(0xFEE7 + i)).collect();
+        let fleet = run_chaos_fleet(&configs, 4);
+        assert_eq!(fleet.len(), configs.len());
+        for (cfg, parallel) in configs.iter().zip(&fleet) {
+            let serial = run_chaos_soak(cfg);
+            assert_eq!(
+                serial.summary, parallel.summary,
+                "a soak's outcome must not depend on scheduling"
+            );
+            assert_eq!(serial.detected, parallel.detected);
+            assert!(parallel.leak_free());
+        }
+    }
+
+    #[test]
+    fn parallel_traces_detect_like_serial_ones() {
+        let mut reg = SiteRegistry::new("par", Arc::new(FrameTable::new()));
+        reg.add_alloc_sites(4);
+        let bug = reg.add_access_site("par", "bug.c:1");
+        let traces: Vec<Vec<Event>> = (0..6)
+            .map(|i| {
+                let mut t = vec![Event::malloc(0, 64, 0)];
+                if i % 2 == 0 {
+                    t.push(Event::overflow(0, AccessKind::Write, bug));
+                } else {
+                    t.push(Event::access(0, 0, 8, AccessKind::Write, SiteToken(0)));
+                }
+                t.push(Event::free(0));
+                t
+            })
+            .collect();
+        let tool = ToolSpec::Csod(CsodConfig::default());
+        let outcomes = run_traces_parallel(&reg, &tool, &traces, 3);
+        assert_eq!(outcomes.len(), 6);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.detected, i % 2 == 0, "trace {i}");
+        }
+    }
+}

@@ -10,7 +10,7 @@
 
 use csod::core::{CsodConfig, DegradationParams};
 use csod::machine::VirtDuration;
-use csod::workloads::{run_chaos_soak, ChaosConfig};
+use csod::workloads::{run_chaos_fleet, run_chaos_soak, ChaosConfig};
 
 #[test]
 fn million_allocation_soak_under_fault_storm_is_leak_free() {
@@ -125,6 +125,40 @@ fn degradation_ladder_degrades_to_canary_only_then_recovers() {
     let text = out.summary.to_string();
     assert!(text.contains("health:"));
     assert!(text.contains("mode: watchpoints"));
+}
+
+#[test]
+fn parallel_fleet_of_soaks_is_deterministic_and_leak_free() {
+    // Four independent storms fanned across OS threads — each owns its
+    // machine and runtime, so the fleet must reproduce the serial soaks
+    // bit for bit, leak checks included. The fault rates are milder than
+    // the acceptance storm: a Figure-3 install is many syscalls, and at
+    // 30 % per-syscall failure essentially none succeed — here we want
+    // watchpoints to actually install so the deferred-teardown path runs.
+    let configs: Vec<ChaosConfig> = (0..4)
+        .map(|i| ChaosConfig {
+            seed: 0xF1EE7 + i,
+            allocations: 50_000,
+            perf_failure_ppm: 10_000,
+            ..ChaosConfig::default()
+        })
+        .collect();
+    let fleet = run_chaos_fleet(&configs, 4);
+    assert_eq!(fleet.len(), configs.len());
+    for (cfg, out) in configs.iter().zip(&fleet) {
+        assert!(out.leak_free());
+        assert_eq!(out.summary.allocations, 50_000);
+        // The overhauled free path actually engaged: most frees are of
+        // unwatched objects and skip the WMU; watched frees queue their
+        // Figure-4 teardowns for batched drains.
+        assert!(out.summary.frees_fast_filtered > 0, "filter never hit");
+        assert!(out.summary.teardowns_batched > 0, "nothing batched");
+        let serial = run_chaos_soak(cfg);
+        assert_eq!(
+            serial.summary, out.summary,
+            "a soak's outcome must not depend on scheduling"
+        );
+    }
 }
 
 #[test]

@@ -199,11 +199,12 @@ fn main() {
         println!("{k:>36}  {v:10.2}");
     }
 
-    if let Some(pos) = args.iter().position(|a| a == "--check") {
+    let check_pos = args.iter().position(|a| a == "--check");
+    let mut failed = false;
+    if let Some(pos) = check_pos {
         let baseline_path = args.get(pos + 1).map_or("BENCH_fastpath.json", |s| s.as_str());
         let baseline = std::fs::read_to_string(baseline_path)
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
-        let mut failed = false;
         for key in [
             "uncontended_cached_ns_per_alloc",
             "uncontended_cached_ns_per_free",
@@ -220,12 +221,14 @@ fn main() {
             };
             println!("check {key}: {fresh:.2} vs baseline {base:.2} ({verdict})");
         }
-        if failed {
-            eprintln!("perf smoke FAILED: cached fast path slower than {REGRESSION_FACTOR}x baseline");
-            std::process::exit(1);
+        if !failed {
+            println!("perf smoke passed");
         }
-        println!("perf smoke passed");
-    } else {
+    }
+    // `--out` combines with `--check`: CI gates and refreshes the
+    // artifact in one run. Without either flag the default path is
+    // written, preserving the original baseline-refresh behaviour.
+    if check_pos.is_none() || args.iter().any(|a| a == "--out") {
         let out = args
             .iter()
             .position(|a| a == "--out")
@@ -233,5 +236,9 @@ fn main() {
             .unwrap_or_else(|| "BENCH_fastpath.json".into());
         std::fs::write(&out, results.to_json()).expect("baseline written");
         println!("wrote {out}");
+    }
+    if failed {
+        eprintln!("perf smoke FAILED: cached fast path slower than {REGRESSION_FACTOR}x baseline");
+        std::process::exit(1);
     }
 }

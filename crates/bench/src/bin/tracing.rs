@@ -1,0 +1,217 @@
+//! Tracked tracing-overhead benchmark: the cost of the always-on event
+//! tracer on the allocation fast path.
+//!
+//! One binary measures both states through the *runtime* toggle
+//! (`config.trace.events`): ns/alloc and ns/free through the full
+//! runtime with event emission on versus off, plus the drain cost per
+//! event. The JSON also records whether the `trace-off` feature compiled
+//! the tracer out entirely (`trace_compiled_off`), so the CI leg that
+//! builds with the feature can assert the stub is truly free.
+//!
+//! ```bash
+//! cargo run --release -p csod-bench --bin tracing            # writes BENCH_tracing.json
+//! cargo run --release -p csod-bench --bin tracing -- --check
+//! ```
+//!
+//! `--check` re-runs the measurement and exits non-zero when tracing-on
+//! costs more than [`OVERHEAD_LIMIT`] over tracing-off on either the
+//! alloc or the free path — the observability perf gate. It needs no
+//! baseline file: the invariant is a ratio between two fresh
+//! measurements of the same binary on the same host.
+
+use csod_core::{Csod, CsodConfig};
+use csod_ctx::{CallingContext, ContextKey, FrameTable};
+use sim_heap::{HeapConfig, SimHeap};
+use sim_machine::{Machine, ThreadId};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Contexts cycled through, mirroring the fastpath bench.
+const CONTEXTS: usize = 64;
+/// Live objects per timed round.
+const ROUND_ALLOCS: usize = 8_192;
+/// Timed rounds (the fastest is reported, Criterion-style).
+const ROUNDS: usize = 12;
+/// Whole-measurement attempts; ratios keep their best attempt.
+const ATTEMPTS: usize = 3;
+/// Allowed tracing-on cost over tracing-off before `--check` fails
+/// (the issue's 10% observability budget).
+const OVERHEAD_LIMIT: f64 = 1.10;
+
+fn contexts(frames: &FrameTable) -> Vec<(ContextKey, CallingContext)> {
+    (0..CONTEXTS)
+        .map(|i| {
+            let ctx = CallingContext::from_locations(
+                frames,
+                [format!("hot_{i}.c:1").as_str(), "driver.c:7", "main.c:1"],
+            );
+            (ContextKey::new(ctx.first_level().expect("non-empty"), 0x40), ctx)
+        })
+        .collect()
+}
+
+/// ns/alloc and ns/free through the full runtime with event emission
+/// toggled by `trace_on`, plus the events drained per round (0 when
+/// emission is off either way).
+fn runtime_pair(trace_on: bool) -> (f64, f64, u64) {
+    let frames = Arc::new(FrameTable::new());
+    let mut machine = Machine::new();
+    let mut heap = SimHeap::new(&mut machine, HeapConfig::default()).expect("fresh heap");
+    let mut config = CsodConfig::default();
+    config.trace.events = trace_on;
+    let mut csod = Csod::new(config, Arc::clone(&frames));
+    let sites = contexts(&frames);
+
+    let mut best_alloc = f64::INFINITY;
+    let mut best_free = f64::INFINITY;
+    let mut drained = 0u64;
+    let mut ptrs = Vec::with_capacity(ROUND_ALLOCS);
+    // One untimed warm-up round settles first-sight interning, the
+    // initial flurry of watch installs, and burst throttling.
+    for round in 0..=ROUNDS {
+        let start = Instant::now();
+        for i in 0..ROUND_ALLOCS {
+            let (key, ctx) = &sites[i % CONTEXTS];
+            let p = csod
+                .malloc(&mut machine, &mut heap, ThreadId::MAIN, 16, *key, ctx)
+                .expect("heap has room");
+            ptrs.push(p);
+        }
+        let alloc_ns = start.elapsed().as_nanos() as f64 / ROUND_ALLOCS as f64;
+        let start = Instant::now();
+        for p in ptrs.drain(..) {
+            csod.free(&mut machine, &mut heap, ThreadId::MAIN, p)
+                .expect("was allocated");
+        }
+        let free_ns = start.elapsed().as_nanos() as f64 / ROUND_ALLOCS as f64;
+        if round > 0 {
+            best_alloc = best_alloc.min(alloc_ns);
+            best_free = best_free.min(free_ns);
+        }
+        // Drain between rounds, like a metrics scraper would, so the
+        // rings never sit saturated for the whole bench.
+        let stream = csod.drain_trace();
+        drained += stream.events.len() as u64;
+    }
+    (best_alloc, best_free, drained / (ROUNDS as u64 + 1))
+}
+
+struct Results {
+    metrics: Vec<(&'static str, f64)>,
+}
+
+impl Results {
+    fn get(&self, key: &str) -> f64 {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("metric {key} missing"))
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v:.2}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn measure() -> Results {
+    let compiled_off = csod_trace::trace_compiled_off();
+    // The on/off runs execute at different moments, so frequency drift
+    // or a background burst on one side skews the ratio in either
+    // direction. Each attempt runs the two modes back to back and forms
+    // its own ratio; the reported ratio is the best attempt's, because
+    // only a pair measured under comparable conditions says anything
+    // about the tracer. Minima of the raw ns across attempts would not:
+    // one lucky tracing-off round in attempt 1 against a routine
+    // tracing-on round in attempt 3 manufactures phantom overhead.
+    let (mut on_alloc, mut on_free) = (f64::INFINITY, f64::INFINITY);
+    let (mut off_alloc, mut off_free) = (f64::INFINITY, f64::INFINITY);
+    let (mut alloc_ratio, mut free_ratio) = (f64::INFINITY, f64::INFINITY);
+    let mut events = 0;
+    for attempt in 1..=ATTEMPTS {
+        eprintln!("tracing bench: attempt {attempt}/{ATTEMPTS}, event emission on...");
+        let (a_on, f_on, e) = runtime_pair(true);
+        events = e;
+        eprintln!("tracing bench: attempt {attempt}/{ATTEMPTS}, event emission off...");
+        let (a_off, f_off, _) = runtime_pair(false);
+        alloc_ratio = alloc_ratio.min(a_on / a_off);
+        free_ratio = free_ratio.min(f_on / f_off);
+        on_alloc = on_alloc.min(a_on);
+        on_free = on_free.min(f_on);
+        off_alloc = off_alloc.min(a_off);
+        off_free = off_free.min(f_off);
+    }
+    Results {
+        metrics: vec![
+            ("trace_compiled_off", f64::from(u8::from(compiled_off))),
+            ("traced_ns_per_alloc", on_alloc),
+            ("traced_ns_per_free", on_free),
+            ("untraced_ns_per_alloc", off_alloc),
+            ("untraced_ns_per_free", off_free),
+            ("alloc_overhead_ratio", alloc_ratio),
+            ("free_overhead_ratio", free_ratio),
+            ("events_per_round", events as f64),
+        ],
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut results = measure();
+    println!("\n=== event tracing overhead ===");
+    for (k, v) in &results.metrics {
+        println!("{k:>36}  {v:10.2}");
+    }
+
+    let mut failed = false;
+    if args.iter().any(|a| a == "--check") {
+        let keys = ["alloc_overhead_ratio", "free_overhead_ratio"];
+        // The ratio is noisy in both directions on shared CI hardware;
+        // a single attempt under the limit proves the invariant, so
+        // re-measure (twice at most) keeping each ratio's best.
+        for retry in 0..=2 {
+            if keys.iter().all(|k| results.get(k) <= OVERHEAD_LIMIT) || retry == 2 {
+                break;
+            }
+            eprintln!("tracing bench: over budget, re-measuring (noisy host?)...");
+            let again = measure();
+            for (k, v) in &mut results.metrics {
+                if keys.contains(k) {
+                    *v = v.min(again.get(k));
+                }
+            }
+        }
+        for key in keys {
+            let ratio = results.get(key);
+            let verdict = if ratio > OVERHEAD_LIMIT {
+                failed = true;
+                "OVER BUDGET"
+            } else {
+                "ok"
+            };
+            println!("check {key}: {ratio:.3} vs limit {OVERHEAD_LIMIT:.2} ({verdict})");
+        }
+        if !failed {
+            println!("tracing overhead within budget");
+        }
+    }
+    if !args.iter().any(|a| a == "--check") || args.iter().any(|a| a == "--out") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|p| args.get(p + 1).cloned())
+            .unwrap_or_else(|| "BENCH_tracing.json".into());
+        std::fs::write(&out, results.to_json()).expect("baseline written");
+        println!("wrote {out}");
+    }
+    if failed {
+        eprintln!("perf smoke FAILED: tracing costs more than {OVERHEAD_LIMIT}x on the fast path");
+        std::process::exit(1);
+    }
+}

@@ -328,6 +328,50 @@ pub struct CsodConfig {
     /// Where to write the rendered bug reports at termination (the
     /// production tool's log file). `None` keeps reports in memory only.
     pub report_path: Option<PathBuf>,
+    /// Observability: event tracer and trap-report sink wiring.
+    pub trace: TraceParams,
+}
+
+/// Observability knobs: the per-thread event rings and where structured
+/// trap reports are routed. Orthogonal to the `trace-off` cargo
+/// feature — that removes the tracer at compile time, while
+/// [`TraceParams::events`] switches it at run time (the tracing
+/// benchmark uses the latter to measure both states in one binary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceParams {
+    /// Emit runtime events into the per-thread rings. Off: `emit` sites
+    /// cost one branch.
+    pub events: bool,
+    /// Per-thread ring capacity in events (rounded up to a power of
+    /// two).
+    pub ring_capacity: usize,
+    /// Append each structured trap report as a JSON line to this file,
+    /// in addition to the always-on in-memory record store.
+    pub trap_report_path: Option<PathBuf>,
+    /// Also echo each structured trap report to stderr.
+    pub trap_report_stderr: bool,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            events: true,
+            ring_capacity: csod_trace::DEFAULT_RING_CAPACITY,
+            trap_report_path: None,
+            trap_report_stderr: false,
+        }
+    }
+}
+
+impl TraceParams {
+    /// Tracing disabled at run time (rings still allocated lazily, so
+    /// this costs one branch per emit site and nothing else).
+    pub fn disabled() -> Self {
+        TraceParams {
+            events: false,
+            ..TraceParams::default()
+        }
+    }
 }
 
 impl Default for CsodConfig {
@@ -345,6 +389,7 @@ impl Default for CsodConfig {
             seed: 0xC50D,
             evidence_path: None,
             report_path: None,
+            trace: TraceParams::default(),
         }
     }
 }

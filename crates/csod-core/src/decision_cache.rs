@@ -124,6 +124,9 @@ impl DecisionCache {
                     self.stats.hits += 1;
                     let mut d = entry.decision;
                     d.first_seen = false;
+                    // One-shot event flags must not replay on every hit.
+                    d.revived = false;
+                    d.entered_burst = false;
                     d.wants_watch = rng.chance_ppm(d.probability_ppm);
                     return d;
                 }

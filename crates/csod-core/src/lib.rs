@@ -42,12 +42,13 @@ mod report;
 mod runtime;
 mod sampling;
 mod summary;
+mod trap;
 mod watchpoints;
 
 pub use canary::{CanaryStatus, CanaryUnit, ObjectHeader, ObjectLayout, CANARY_SIZE, HEADER_SIZE, OBJECT_IDENTIFIER};
 pub use config::{
     paper, AnalysisPriors, CsodConfig, FastPathParams, ParseRiskClassError, RiskClass,
-    SamplingParams, WatchBackend,
+    SamplingParams, TraceParams, WatchBackend,
 };
 pub use decision_cache::{DecisionCache, DecisionCacheStats};
 pub use fastmap::{FastKey, FastMap};
@@ -60,6 +61,7 @@ pub use report::{DetectionMethod, OverflowReport};
 pub use runtime::{Csod, CsodError, CsodStats};
 pub use sampling::{AllocDecision, CtxId, CtxState, SamplingUnit};
 pub use summary::RunSummary;
+pub use trap::{ReportPipeline, TrapReport};
 pub use watchpoints::{
     InstallOutcome, WatchCandidate, WatchFilter, WatchedObject, WatchpointManager, WatchpointStats,
 };

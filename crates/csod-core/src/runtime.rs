@@ -14,13 +14,18 @@ use crate::evidence::EvidenceStore;
 use crate::fastmap::FastMap;
 use crate::report::{DetectionMethod, OverflowReport};
 use crate::sampling::{CtxId, SamplingUnit};
+use crate::trap::{ReportPipeline, TrapReport};
 use crate::watchpoints::{InstallOutcome, WatchCandidate, WatchpointManager};
 use csod_ctx::{CallingContext, ContextKey, FrameTable};
 use csod_rng::{Arc4Random, RngSlots};
+use csod_trace::{
+    Histogram, JsonlFileSink, MetricsRegistry, RecordSink, StderrSink, ThreadTracer,
+    TraceEventKind, TraceStream, Tracer,
+};
 use sim_heap::{HeapError, SimHeap};
 use sim_machine::{
     AccessKind, CostDomain, Machine, MemoryError, Signal, SignalInfo, SiteToken, ThreadId,
-    VirtAddr,
+    VirtAddr, VirtInstant,
 };
 use std::collections::HashSet;
 use std::fmt;
@@ -78,6 +83,9 @@ struct AllocationRecord {
     canary_addr: VirtAddr,
     key: ContextKey,
     ctx_id: CtxId,
+    /// Virtual time of allocation — the trap report derives the
+    /// object's age from it.
+    allocated_at: VirtInstant,
 }
 
 /// Aggregate counters for the evaluation tables.
@@ -189,6 +197,16 @@ pub struct Csod {
     reported: HashSet<(u32, u64, u32, u8)>,
     stats: CsodStats,
     finished: bool,
+    /// Observability: the per-thread event rings.
+    tracer: Tracer,
+    /// Per-thread writer handles, slot = dense thread id (the rings are
+    /// strictly single-writer; the slot layout mirrors `caches`).
+    thread_tracers: Vec<ThreadTracer>,
+    /// Observability: the structured trap-report pipeline.
+    pipeline: ReportPipeline,
+    /// Last detection mode the tracer was told about, to turn the
+    /// degradation ladder's state into enter/exit transition events.
+    traced_mode: DetectionMode,
 }
 
 impl Csod {
@@ -229,6 +247,13 @@ impl Csod {
             config.fast_path.deferred_teardown,
             config.fast_path.fd_index,
         );
+        let mut pipeline = ReportPipeline::new();
+        if let Some(path) = config.trace.trap_report_path.as_deref() {
+            pipeline.add_sink(Box::new(JsonlFileSink::new(path)));
+        }
+        if config.trace.trap_report_stderr {
+            pipeline.add_sink(Box::new(StderrSink::new()));
+        }
         Csod {
             sampling: SamplingUnit::with_priors(config.sampling, config.priors.clone()),
             watchpoints,
@@ -243,8 +268,48 @@ impl Csod {
             reported: HashSet::new(),
             stats: CsodStats::default(),
             finished: false,
+            tracer: Tracer::new(config.trace.ring_capacity),
+            thread_tracers: Vec::new(),
+            pipeline,
+            traced_mode: DetectionMode::Watchpoints,
             config,
             frames,
+        }
+    }
+
+    /// Appends one event to the calling thread's trace ring. A no-op
+    /// when run-time tracing is off or the `trace-off` feature compiled
+    /// the tracer out.
+    #[inline]
+    fn trace_event(&mut self, at: VirtInstant, tid: ThreadId, kind: TraceEventKind, a: u64, b: u64) {
+        if !self.config.trace.events {
+            return;
+        }
+        let i = tid.as_u32() as usize;
+        while self.thread_tracers.len() <= i {
+            let next = u32::try_from(self.thread_tracers.len()).unwrap_or(u32::MAX);
+            let handle = self.tracer.register(next);
+            self.thread_tracers.push(handle);
+        }
+        self.thread_tracers[i].emit(at.as_nanos(), kind, a, b);
+    }
+
+    /// Emits a degradation transition event if the ladder's mode moved
+    /// since the last check.
+    fn trace_mode_transition(&mut self, at: VirtInstant, tid: ThreadId) {
+        let mode = self.degradation.mode();
+        if mode == self.traced_mode {
+            return;
+        }
+        self.traced_mode = mode;
+        let failures = self.degradation.stats().install_failures;
+        match mode {
+            DetectionMode::CanaryOnly => {
+                self.trace_event(at, tid, TraceEventKind::DegradationEnter, 1, failures);
+            }
+            DetectionMode::Watchpoints => {
+                self.trace_event(at, tid, TraceEventKind::DegradationExit, 0, 0);
+            }
         }
     }
 
@@ -298,6 +363,7 @@ impl Csod {
             self.canary.imprint(machine, layout, real, decision.ctx_id)?;
         }
 
+        let allocated_at = machine.now();
         self.track_new_object(
             machine,
             tid,
@@ -310,6 +376,7 @@ impl Csod {
                 canary_addr,
                 key,
                 ctx_id: decision.ctx_id,
+                allocated_at,
             },
         );
         Ok(user)
@@ -362,6 +429,7 @@ impl Csod {
             machine.raw_store_u64(canary_addr, self.canary.canary_value())?;
         }
 
+        let allocated_at = machine.now();
         self.track_new_object(
             machine,
             tid,
@@ -374,6 +442,7 @@ impl Csod {
                 canary_addr,
                 key,
                 ctx_id: decision.ctx_id,
+                allocated_at,
             },
         );
         Ok(user)
@@ -470,6 +539,15 @@ impl Csod {
         if decision.prior == Some(RiskClass::ProvenSafe) {
             self.stats.proven_safe_allocs += 1;
         }
+        let now = machine.now();
+        let ctx = u64::from(decision.ctx_id.as_u32());
+        let ppm = u64::from(decision.probability_ppm);
+        if decision.entered_burst {
+            self.trace_event(now, tid, TraceEventKind::BurstEnter, ctx, ppm);
+        }
+        if decision.revived {
+            self.trace_event(now, tid, TraceEventKind::Revive, ctx, ppm);
+        }
         decision
     }
 
@@ -504,7 +582,23 @@ impl Csod {
         if proven_safe && bypass_eligible && !decision.wants_watch {
             self.stats.prior_availability_skips += 1;
         }
-        if decision.wants_watch || availability {
+        // Sampled means "selected for a watch attempt" — by the
+        // sampler's draw or by the availability rule — not merely that
+        // the draw succeeded.
+        let selected = decision.wants_watch || availability;
+        let kind = if selected {
+            TraceEventKind::AllocSampled
+        } else {
+            TraceEventKind::AllocSkipped
+        };
+        self.trace_event(
+            machine.now(),
+            tid,
+            kind,
+            u64::from(decision.ctx_id.as_u32()),
+            u64::from(decision.probability_ppm),
+        );
+        if selected {
             let outcome = self.try_install(
                 machine,
                 tid,
@@ -557,6 +651,13 @@ impl Csod {
                 if verdict.quarantined {
                     self.sampling.quarantine(candidate.key);
                 }
+                self.trace_event(
+                    now,
+                    tid,
+                    TraceEventKind::InstallFailed,
+                    candidate.object_start.as_u64(),
+                    u64::from(prior_attempts),
+                );
             }
             InstallOutcome::Rejected => {}
             InstallOutcome::InstalledFree | InstallOutcome::Replaced => {
@@ -565,8 +666,21 @@ impl Csod {
                     self.degradation.on_retry_success();
                 }
                 self.sampling.on_watched(candidate.key);
+                let kind = if outcome == InstallOutcome::InstalledFree {
+                    TraceEventKind::WatchInstalled
+                } else {
+                    TraceEventKind::WatchPreempted
+                };
+                self.trace_event(
+                    now,
+                    tid,
+                    kind,
+                    candidate.object_start.as_u64(),
+                    u64::from(candidate.ctx_id.as_u32()),
+                );
             }
         }
+        self.trace_mode_transition(now, tid);
         outcome
     }
 
@@ -620,10 +734,16 @@ impl Csod {
         // nothing to remove or cancel, so the common unwatched free
         // touches neither the WMU nor the retry queue.
         if self.watchpoints.filter().contains(user) || self.degradation.pending_retries() > 0 {
-            self.watchpoints.remove_by_object(machine, user);
+            let removed = self.watchpoints.remove_by_object(machine, user);
             self.degradation.cancel_retry(user);
+            if removed {
+                let now = machine.now();
+                self.trace_event(now, tid, TraceEventKind::WatchRemoved, user.as_u64(), 0);
+            }
         } else {
             self.stats.frees_fast_filtered += 1;
+            let now = machine.now();
+            self.trace_event(now, tid, TraceEventKind::FreeFiltered, user.as_u64(), 0);
         }
 
         if self.config.evidence {
@@ -697,7 +817,14 @@ impl Csod {
         }
         // Quiesce point: pay for any teardowns deferred off the free
         // path, in one batched kernel entry.
+        let before = self.watchpoints.stats().teardowns_batched;
         self.watchpoints.drain_teardowns(machine);
+        let drained = self.watchpoints.stats().teardowns_batched - before;
+        if drained > 0 {
+            let now = machine.now();
+            self.trace_event(now, ThreadId::MAIN, TraceEventKind::TeardownBatch, drained, 0);
+        }
+        self.trace_mode_transition(machine.now(), ThreadId::MAIN);
     }
 
     fn on_trap(&mut self, machine: &Machine, sig: SignalInfo) {
@@ -710,6 +837,13 @@ impl Csod {
             // removed after the access. Counted, never reported — the
             // address may already belong to a different object.
             self.stats.stale_traps_suppressed += 1;
+            self.trace_event(
+                machine.now(),
+                sig.thread,
+                TraceEventKind::TrapSuppressed,
+                fd.as_raw(),
+                0,
+            );
             return;
         };
         self.stats.traps += 1;
@@ -717,6 +851,13 @@ impl Csod {
         let key = watched.key;
         let object_start = watched.object_start;
         let boundary = watched.canary_addr;
+        self.trace_event(
+            machine.now(),
+            sig.thread,
+            TraceEventKind::TrapFired,
+            sig.fault_addr.as_u64(),
+            u64::from(ctx_id.as_u32()),
+        );
         if !self
             .reported
             .insert((ctx_id.as_u32(), sig.site.0, sig.thread.as_u32(), 0))
@@ -733,6 +874,34 @@ impl Csod {
             .full_context(key)
             .unwrap_or_default();
         let overflow_site = self.sites.get(sig.site.0).cloned();
+        // The paper's report (Section III-D2), structured: the full
+        // allocation calling context plus the access coordinates the
+        // Figure-6 text cannot carry.
+        let now = machine.now();
+        let record = self.records.get(object_start.as_u64()).copied();
+        let requested = record.map_or(0, |r| r.requested);
+        self.pipeline.emit(TrapReport {
+            method: DetectionMethod::Watchpoint,
+            kind: sig.access,
+            thread: sig.thread,
+            ctx_id,
+            object_start,
+            access_addr: sig.fault_addr,
+            requested_size: requested,
+            offset_past_end: sig
+                .fault_addr
+                .as_u64()
+                .saturating_sub(object_start.as_u64() + requested),
+            object_age_ns: record.map_or(0, |r| {
+                now.saturating_duration_since(r.allocated_at).as_nanos()
+            }),
+            at_ns: now.as_nanos(),
+            alloc_context: TrapReport::resolve_context(&alloc_context, &self.frames),
+            overflow_site: overflow_site
+                .as_ref()
+                .map(|c| TrapReport::resolve_context(c, &self.frames))
+                .unwrap_or_default(),
+        });
         self.reports.push(OverflowReport {
             kind: sig.access,
             method: DetectionMethod::Watchpoint,
@@ -742,7 +911,7 @@ impl Csod {
             overflow_site,
             alloc_context,
             ctx_id,
-            at: machine.now(),
+            at: now,
         });
     }
 
@@ -773,6 +942,27 @@ impl Csod {
             self.stats.proven_safe_overflows += 1;
         }
         let alloc_context = self.sampling.full_context(record.key).unwrap_or_default();
+        let now = machine.now();
+        // Canary evidence yields the same structured record, minus the
+        // overflow site (which only a trap can know); the corrupted
+        // canary word is the best available access address.
+        self.pipeline.emit(TrapReport {
+            method,
+            kind: AccessKind::Write,
+            thread: tid,
+            ctx_id: record.ctx_id,
+            object_start: record.user,
+            access_addr: record.canary_addr,
+            requested_size: record.requested,
+            offset_past_end: record
+                .canary_addr
+                .as_u64()
+                .saturating_sub(record.user.as_u64() + record.requested),
+            object_age_ns: now.saturating_duration_since(record.allocated_at).as_nanos(),
+            at_ns: now.as_nanos(),
+            alloc_context: TrapReport::resolve_context(&alloc_context, &self.frames),
+            overflow_site: Vec::new(),
+        });
         self.reports.push(OverflowReport {
             kind: AccessKind::Write,
             method,
@@ -782,7 +972,7 @@ impl Csod {
             overflow_site: None,
             alloc_context,
             ctx_id: record.ctx_id,
-            at: machine.now(),
+            at: now,
         });
     }
 
@@ -831,6 +1021,7 @@ impl Csod {
             // Like evidence, report logging is best-effort.
             let _ = std::fs::write(path, text);
         }
+        self.pipeline.flush();
     }
 
     // ----- introspection ---------------------------------------------------------------
@@ -933,6 +1124,95 @@ impl Csod {
     /// otherwise.
     pub fn per_object_overhead(&self, requested: u64) -> u64 {
         ObjectLayout::new(self.config.evidence, requested).total_size() - requested
+    }
+
+    // ----- observability ---------------------------------------------------------------
+
+    /// Every structured trap report emitted so far (paper Section
+    /// III-D2 as machine-readable records).
+    pub fn trap_reports(&self) -> &[TrapReport] {
+        self.pipeline.reports()
+    }
+
+    /// Registers an additional sink for structured trap reports; the
+    /// config-driven JSONL and stderr sinks are installed by
+    /// [`Csod::new`].
+    pub fn add_trap_sink(&mut self, sink: Box<dyn RecordSink>) {
+        self.pipeline.add_sink(sink);
+    }
+
+    /// Drains the per-thread event rings into one time-ordered stream.
+    /// Consuming: events are returned once. Empty when tracing is off
+    /// (run-time or compile-time).
+    pub fn drain_trace(&self) -> TraceStream {
+        self.tracer.drain()
+    }
+
+    /// A point-in-time metrics snapshot: every runtime counter
+    /// (`CsodStats`, `WatchpointStats`, the degradation ladder, the
+    /// decision caches) as Prometheus-style counters and gauges, plus
+    /// the watch-lifetime, slot-occupancy and per-context sample-rate
+    /// histograms.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        let s = self.stats();
+        reg.set_counter("csod_allocations_total", s.allocations);
+        reg.set_counter("csod_frees_total", s.frees);
+        reg.set_counter("csod_frees_fast_filtered_total", s.frees_fast_filtered);
+        reg.set_counter("csod_traps_total", s.traps);
+        reg.set_counter("csod_stale_traps_suppressed_total", s.stale_traps_suppressed);
+        reg.set_counter("csod_canary_free_hits_total", s.canary_free_hits);
+        reg.set_counter("csod_canary_exit_hits_total", s.canary_exit_hits);
+        reg.set_counter("csod_install_failures_total", s.install_failures);
+        reg.set_counter("csod_install_retries_total", s.install_retries);
+        reg.set_counter("csod_degradations_total", s.degradations);
+        reg.set_counter("csod_recoveries_total", s.recoveries);
+        reg.set_counter("csod_teardowns_batched_total", s.teardowns_batched);
+        let w = self.watchpoints.stats();
+        reg.set_counter("csod_watch_installs_total", w.installs);
+        reg.set_counter("csod_watch_replacements_total", w.replacements);
+        reg.set_counter("csod_watch_removals_on_free_total", w.removals_on_free);
+        reg.set_counter("csod_watch_rejected_total", w.rejected);
+        reg.set_counter("csod_teardown_batches_total", w.teardown_batches);
+        let d = self.degradation.stats();
+        reg.set_counter("csod_quarantines_total", d.quarantines);
+        reg.set_counter("csod_degradation_probes_total", d.probes);
+        let c = self.decision_cache_stats();
+        reg.set_counter("csod_decision_cache_hits_total", c.hits);
+        reg.set_counter("csod_decision_cache_misses_total", c.misses);
+        reg.set_counter("csod_decision_cache_invalidations_total", c.invalidations);
+        reg.set_counter("csod_reports_total", self.reports.len() as u64);
+        reg.set_counter("csod_trap_reports_total", self.pipeline.len() as u64);
+        reg.set_gauge("csod_watched_objects", self.watchpoints.watched_count() as f64);
+        reg.set_gauge(
+            "csod_distinct_contexts",
+            self.sampling.distinct_contexts() as f64,
+        );
+        reg.set_gauge(
+            "csod_canary_only_mode",
+            f64::from(u8::from(self.degradation.mode() == DetectionMode::CanaryOnly)),
+        );
+        reg.set_gauge(
+            "csod_pending_teardowns",
+            self.watchpoints.pending_teardowns() as f64,
+        );
+        reg.set_histogram(
+            "csod_watch_lifetime_ns",
+            self.watchpoints.watch_lifetime_histogram(),
+        );
+        reg.set_histogram(
+            "csod_slot_occupancy",
+            self.watchpoints.slot_occupancy_histogram(),
+        );
+        // Per-context sample-rate distribution, built from the sampling
+        // table at snapshot time (ppm values, so one bucket ≈ one 2×
+        // band of watch probability).
+        let mut rates = Histogram::new();
+        for (_key, state) in self.sampling.snapshot() {
+            rates.record(u64::from(state.probability_ppm()));
+        }
+        reg.set_histogram("csod_ctx_probability_ppm", rates.snapshot());
+        reg
     }
 }
 

@@ -104,6 +104,13 @@ pub struct AllocDecision {
     /// runtime uses it to deny the availability bypass to proven-safe
     /// contexts and to account saved watch slots.
     pub prior: Option<RiskClass>,
+    /// `true` when *this* decision revived the context from the floor
+    /// (Section IV-A). One-shot: decision-cache hits replay the decision
+    /// with the flag cleared, so the event is observed exactly once.
+    pub revived: bool,
+    /// `true` when *this* decision tripped the burst throttle. One-shot
+    /// like [`AllocDecision::revived`].
+    pub entered_burst: bool,
 }
 
 /// Probability in ppm of at least one success across `n` independent
@@ -331,6 +338,7 @@ impl SamplingUnit {
                 // Suspicious contexts are exempt from burst throttling:
                 // an allocation burst from a statically risky site is
                 // exactly when the watchpoints should stay on it.
+                let mut entered_burst = false;
                 if !state.pinned_certain
                     && state.prior != Some(RiskClass::Suspicious)
                     && state.burst_until.is_none()
@@ -338,6 +346,7 @@ impl SamplingUnit {
                 {
                     state.probability_ppm = params.burst_ppm;
                     state.burst_until = Some(state.window_start + params.burst_window);
+                    entered_burst = true;
                     epoch.fetch_add(1, Ordering::AcqRel);
                 }
 
@@ -353,6 +362,7 @@ impl SamplingUnit {
                 } else {
                     1
                 };
+                let mut revived = false;
                 if !state.pinned_certain && state.burst_until.is_none() {
                     if state.probability_ppm <= params.floor_ppm {
                         match state.floor_since {
@@ -367,6 +377,7 @@ impl SamplingUnit {
                             {
                                 state.probability_ppm = params.revive_ppm;
                                 state.floor_since = None;
+                                revived = true;
                                 epoch.fetch_add(1, Ordering::AcqRel);
                             }
                             Some(_) => {}
@@ -400,6 +411,8 @@ impl SamplingUnit {
                     wants_watch,
                     prior_watches: state.watch_count,
                     prior: state.prior,
+                    revived,
+                    entered_burst,
                 }
             },
         )

@@ -1,0 +1,237 @@
+//! The structured trap-report pipeline (paper Section III-D, Report
+//! Generation).
+//!
+//! Where [`crate::OverflowReport`] is the human-facing Figure-6 text,
+//! [`TrapReport`] is the machine-facing record a production deployment
+//! ships to its crash-report backend: the full allocation calling
+//! context, the faulting access address, how far past the end of the
+//! object it landed, the acting thread, and the object's age — one JSON
+//! line per detection, routed through every configured
+//! [`RecordSink`](csod_trace::RecordSink).
+
+use crate::report::DetectionMethod;
+use crate::sampling::CtxId;
+use csod_ctx::{CallingContext, FrameTable};
+use csod_trace::{json_escape, RecordSink};
+use sim_machine::{AccessKind, ThreadId, VirtAddr};
+use std::fmt::Write as _;
+
+/// One structured overflow detection, fully resolved (frame ids already
+/// rendered to `file:line` strings) so the record outlives the runtime
+/// that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrapReport {
+    /// Detection path (watchpoint trap, or a canary discovery).
+    pub method: DetectionMethod,
+    /// Over-read or over-write.
+    pub kind: AccessKind,
+    /// The thread that performed the access (or found the evidence).
+    pub thread: ThreadId,
+    /// Dense id of the allocation context.
+    pub ctx_id: CtxId,
+    /// User-visible start of the overflowed object.
+    pub object_start: VirtAddr,
+    /// The faulting access address (watchpoint path) or the corrupted
+    /// canary word (canary paths).
+    pub access_addr: VirtAddr,
+    /// Requested size of the object in bytes.
+    pub requested_size: u64,
+    /// How far past the end of the object the access landed, in bytes
+    /// (`access_addr − (object_start + requested_size)`; 0 for a hit on
+    /// the first out-of-bounds byte).
+    pub offset_past_end: u64,
+    /// Age of the object at detection, in virtual nanoseconds since its
+    /// allocation.
+    pub object_age_ns: u64,
+    /// Virtual time of the detection, nanoseconds since boot.
+    pub at_ns: u64,
+    /// Full allocation calling context, innermost frame first, each
+    /// frame as `file:line`.
+    pub alloc_context: Vec<String>,
+    /// Calling context of the overflowing statement; empty on the
+    /// canary paths, which cannot know it.
+    pub overflow_site: Vec<String>,
+}
+
+impl TrapReport {
+    /// Stable machine tag for the detection method.
+    pub fn method_tag(method: DetectionMethod) -> &'static str {
+        match method {
+            DetectionMethod::Watchpoint => "watchpoint",
+            DetectionMethod::CanaryOnFree => "canary_free",
+            DetectionMethod::CanaryAtExit => "canary_exit",
+        }
+    }
+
+    /// Resolves a calling context into `file:line` strings, innermost
+    /// frame first.
+    pub fn resolve_context(ctx: &CallingContext, frames: &FrameTable) -> Vec<String> {
+        ctx.iter().map(|id| frames.resolve(id)).collect()
+    }
+
+    /// Serializes the report as one JSON object on a single line.
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"method\":\"{}\",\"kind\":\"{}\",\"thread\":{},\"ctx_id\":{},\
+             \"object_start\":\"{:#x}\",\"access_addr\":\"{:#x}\",\
+             \"requested_size\":{},\"offset_past_end\":{},\
+             \"object_age_ns\":{},\"at_ns\":{}",
+            Self::method_tag(self.method),
+            match self.kind {
+                AccessKind::Read => "read",
+                AccessKind::Write => "write",
+            },
+            self.thread.as_u32(),
+            self.ctx_id.as_u32(),
+            self.object_start.as_u64(),
+            self.access_addr.as_u64(),
+            self.requested_size,
+            self.offset_past_end,
+            self.object_age_ns,
+            self.at_ns,
+        );
+        out.push_str(",\"alloc_context\":[");
+        for (i, frame) in self.alloc_context.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(frame));
+        }
+        out.push_str("],\"overflow_site\":[");
+        for (i, frame) in self.overflow_site.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\"", json_escape(frame));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Routes every [`TrapReport`] to an in-memory store (always) and any
+/// number of registered line sinks (JSONL file, stderr, test memory
+/// sinks).
+#[derive(Debug, Default)]
+pub struct ReportPipeline {
+    reports: Vec<TrapReport>,
+    sinks: Vec<Box<dyn RecordSink>>,
+}
+
+impl ReportPipeline {
+    /// A pipeline with no sinks: reports are only stored in memory.
+    pub fn new() -> ReportPipeline {
+        ReportPipeline::default()
+    }
+
+    /// Registers a sink; every future report is also written to it as a
+    /// JSON line.
+    pub fn add_sink(&mut self, sink: Box<dyn RecordSink>) {
+        self.sinks.push(sink);
+    }
+
+    /// Accepts one report: serializes it to every sink and stores the
+    /// structured record.
+    pub fn emit(&mut self, report: TrapReport) {
+        if !self.sinks.is_empty() {
+            let line = report.to_json_line();
+            for sink in &mut self.sinks {
+                sink.write_line(&line);
+            }
+        }
+        self.reports.push(report);
+    }
+
+    /// Every report emitted so far, in order.
+    pub fn reports(&self) -> &[TrapReport] {
+        &self.reports
+    }
+
+    /// Number of reports emitted.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// `true` when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Flushes every sink (end of run).
+    pub fn flush(&mut self) {
+        for sink in &mut self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csod_trace::MemorySink;
+
+    fn sample() -> TrapReport {
+        TrapReport {
+            method: DetectionMethod::Watchpoint,
+            kind: AccessKind::Write,
+            thread: ThreadId::MAIN,
+            ctx_id: CtxId::from_index(7),
+            object_start: VirtAddr::new(0x1000),
+            access_addr: VirtAddr::new(0x1044),
+            requested_size: 64,
+            offset_past_end: 4,
+            object_age_ns: 1_500,
+            at_ns: 9_000,
+            alloc_context: vec!["alloc.c:5".into(), "main.c:2".into()],
+            overflow_site: vec!["memcpy.S:81".into()],
+        }
+    }
+
+    #[test]
+    fn json_line_carries_the_papers_report_fields() {
+        let line = sample().to_json_line();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"method\":\"watchpoint\""));
+        assert!(line.contains("\"kind\":\"write\""));
+        assert!(line.contains("\"object_start\":\"0x1000\""));
+        assert!(line.contains("\"access_addr\":\"0x1044\""));
+        assert!(line.contains("\"offset_past_end\":4"));
+        assert!(line.contains("\"object_age_ns\":1500"));
+        assert!(line.contains("\"alloc_context\":[\"alloc.c:5\",\"main.c:2\"]"));
+        assert!(line.contains("\"overflow_site\":[\"memcpy.S:81\"]"));
+    }
+
+    #[test]
+    fn pipeline_stores_and_fans_out() {
+        let mem = MemorySink::new();
+        let mut pipeline = ReportPipeline::new();
+        pipeline.add_sink(Box::new(mem.handle()));
+        pipeline.emit(sample());
+        pipeline.emit(TrapReport {
+            method: DetectionMethod::CanaryOnFree,
+            overflow_site: Vec::new(),
+            ..sample()
+        });
+        pipeline.flush();
+        assert_eq!(pipeline.len(), 2);
+        assert!(!pipeline.is_empty());
+        assert_eq!(mem.len(), 2);
+        assert!(mem.lines()[1].contains("\"method\":\"canary_free\""));
+        assert!(mem.lines()[1].contains("\"overflow_site\":[]"));
+        assert_eq!(pipeline.reports()[0].ctx_id, CtxId::from_index(7));
+    }
+
+    #[test]
+    fn method_tags_are_distinct() {
+        let tags = [
+            TrapReport::method_tag(DetectionMethod::Watchpoint),
+            TrapReport::method_tag(DetectionMethod::CanaryOnFree),
+            TrapReport::method_tag(DetectionMethod::CanaryAtExit),
+        ];
+        let set: std::collections::HashSet<_> = tags.into_iter().collect();
+        assert_eq!(set.len(), 3);
+    }
+}

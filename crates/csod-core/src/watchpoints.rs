@@ -19,6 +19,7 @@ use crate::policy::ReplacementPolicy;
 use crate::sampling::CtxId;
 use csod_ctx::ContextKey;
 use csod_rng::Arc4Random;
+use csod_trace::{Histogram, HistogramSnapshot};
 use sim_machine::{
     Fd, FcntlCmd, IoctlCmd, Machine, PerfError, PerfEventAttr, Signal, ThreadId, VirtAddr,
     VirtDuration, VirtInstant, NUM_WATCHPOINT_REGISTERS,
@@ -223,6 +224,11 @@ pub struct WatchpointManager {
     /// one-by-one descriptor comparison (`false`).
     use_fd_index: bool,
     stats: WatchpointStats,
+    /// Observability: install-to-removal lifetime of every watchpoint
+    /// that was ever taken down, in virtual nanoseconds.
+    watch_lifetime: Histogram,
+    /// Observability: occupied slots immediately after each install.
+    slot_occupancy: Histogram,
 }
 
 impl WatchpointManager {
@@ -269,6 +275,8 @@ impl WatchpointManager {
             deferred_teardown: false,
             use_fd_index: false,
             stats: WatchpointStats::default(),
+            watch_lifetime: Histogram::new(),
+            slot_occupancy: Histogram::new(),
         }
     }
 
@@ -343,6 +351,18 @@ impl WatchpointManager {
     /// Counters.
     pub fn stats(&self) -> WatchpointStats {
         self.stats
+    }
+
+    /// Distribution of install-to-removal watchpoint lifetimes, in
+    /// virtual nanoseconds (one observation per removed watchpoint).
+    pub fn watch_lifetime_histogram(&self) -> HistogramSnapshot {
+        self.watch_lifetime.snapshot()
+    }
+
+    /// Distribution of occupied slot counts sampled right after each
+    /// install — how hard the four registers are being contended.
+    pub fn slot_occupancy_histogram(&self) -> HistogramSnapshot {
+        self.slot_occupancy.snapshot()
     }
 
     /// Offers `candidate` to the manager.
@@ -457,7 +477,7 @@ impl WatchpointManager {
             return false;
         };
         if self.deferred_teardown {
-            self.unlink_slot(idx);
+            self.unlink_slot(idx, machine.now());
         } else {
             self.remove_slot(machine, idx);
         }
@@ -628,6 +648,7 @@ impl WatchpointManager {
             installed_at: machine.now(),
             fds,
         });
+        self.slot_occupancy.record(self.watched_count() as u64);
         Ok(())
     }
 
@@ -638,8 +659,10 @@ impl WatchpointManager {
     /// Figure-4 `ioctl`/`close` sequence is queued for the next batched
     /// drain. The generation bump guarantees a recycled slot never
     /// resolves through a stale fd-index entry.
-    fn unlink_slot(&mut self, idx: usize) {
+    fn unlink_slot(&mut self, idx: usize, now: VirtInstant) {
         let watched = self.slots[idx].take().expect("slot occupied");
+        self.watch_lifetime
+            .record(now.saturating_duration_since(watched.installed_at).as_nanos());
         self.filter.remove(watched.object_start);
         self.generations[idx] = self.generations[idx].wrapping_add(1);
         for (_tid, fd) in watched.fds {
@@ -650,6 +673,12 @@ impl WatchpointManager {
 
     fn remove_slot(&mut self, machine: &mut Machine, idx: usize) {
         let watched = self.slots[idx].take().expect("slot occupied");
+        self.watch_lifetime.record(
+            machine
+                .now()
+                .saturating_duration_since(watched.installed_at)
+                .as_nanos(),
+        );
         self.filter.remove(watched.object_start);
         self.generations[idx] = self.generations[idx].wrapping_add(1);
         for &(_tid, fd) in &watched.fds {

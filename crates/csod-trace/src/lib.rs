@@ -1,0 +1,80 @@
+//! # csod-trace — the always-on observability layer
+//!
+//! CSOD is pitched as a production detector; the value of a sampled
+//! production detector is realized through its telemetry. This crate is
+//! the substrate the rest of the reproduction reports through:
+//!
+//! * [`Tracer`] / [`ThreadTracer`] — a lock-free, per-thread bounded
+//!   ring-buffer event tracer. Each thread writes [`TraceEvent`]s into
+//!   its own ring with plain atomic stores (no locks, no allocation on
+//!   the hot path); [`Tracer::drain`] merges every ring into one
+//!   time-ordered stream. The `trace-off` cargo feature compiles the
+//!   whole thing down to no-ops.
+//! * [`Histogram`] — power-of-two-bucketed latency/occupancy histograms
+//!   cheap enough to record on runtime paths.
+//! * [`MetricsRegistry`] — named counters, gauges and histograms with
+//!   JSON and Prometheus-style text serialization.
+//! * [`RecordSink`] — pluggable line-oriented sinks ([`MemorySink`],
+//!   [`JsonlFileSink`], [`StderrSink`]) for structured trap reports.
+//! * [`BoundedLog`] — the generic bounded ring with eviction accounting
+//!   shared with the machine's flight recorder.
+//!
+//! The crate is dependency-free and knows nothing about the simulator:
+//! timestamps are plain nanosecond counts, thread ids plain `u32`s.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::perf)]
+
+mod event;
+mod histogram;
+mod log;
+mod metrics;
+mod ring;
+mod sink;
+
+pub use event::{TraceEvent, TraceEventKind};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use log::BoundedLog;
+pub use metrics::MetricsRegistry;
+pub use ring::{ThreadTracer, TraceStream, Tracer, DEFAULT_RING_CAPACITY};
+pub use sink::{JsonlFileSink, MemorySink, RecordSink, StderrSink};
+
+/// `true` when the crate was built with the `trace-off` feature — the
+/// tracer is compiled out and every [`ThreadTracer::emit`] is a no-op.
+pub const fn trace_compiled_off() -> bool {
+    cfg!(feature = "trace-off")
+}
+
+/// Minimal JSON string escaping for hand-rolled serializers: quotes,
+/// backslashes and control characters. Everything this workspace writes
+/// into JSON (source locations, metric names) is ASCII, so this is
+/// complete for its inputs while staying allocation-light.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(json_escape("plain.c:12"), "plain.c:12");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

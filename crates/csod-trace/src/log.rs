@@ -1,0 +1,105 @@
+//! A generic bounded log with eviction accounting.
+//!
+//! The machine's flight recorder and any other "keep the last N things,
+//! remember how many fell off" consumer share this one implementation,
+//! so capacity handling and drop accounting can't drift between them.
+
+use std::collections::VecDeque;
+
+/// A FIFO log that holds at most `capacity` entries; pushing to a full
+/// log evicts the oldest entry and counts it.
+#[derive(Debug, Clone)]
+pub struct BoundedLog<T> {
+    capacity: usize,
+    entries: VecDeque<T>,
+    evicted: u64,
+}
+
+impl<T> BoundedLog<T> {
+    /// An empty log holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> BoundedLog<T> {
+        let capacity = capacity.max(1);
+        BoundedLog {
+            capacity,
+            entries: VecDeque::with_capacity(capacity.min(1024)),
+            evicted: 0,
+        }
+    }
+
+    /// Appends an entry, evicting the oldest if the log is full.
+    pub fn push(&mut self, entry: T) {
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+            self.evicted += 1;
+        }
+        self.entries.push_back(entry);
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries evicted over the log's lifetime.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Removes and returns all retained entries, oldest first. The
+    /// eviction count is preserved.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.entries.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_keeps_newest_and_counts_oldest() {
+        let mut log = BoundedLog::new(3);
+        for i in 0..5 {
+            log.push(i);
+        }
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(log.evicted(), 2);
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.capacity(), 3);
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_eviction_count() {
+        let mut log = BoundedLog::new(2);
+        log.push("a");
+        log.push("b");
+        log.push("c");
+        assert_eq!(log.drain(), vec!["b", "c"]);
+        assert!(log.is_empty());
+        assert_eq!(log.evicted(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut log = BoundedLog::new(0);
+        log.push(1);
+        log.push(2);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.iter().copied().collect::<Vec<_>>(), vec![2]);
+    }
+}

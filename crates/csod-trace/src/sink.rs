@@ -1,0 +1,178 @@
+//! Pluggable line-oriented sinks for structured records.
+//!
+//! The trap-report pipeline renders each report to one JSON line and
+//! hands it to every configured sink. Sinks are deliberately dumb —
+//! they see opaque lines, not report types — so the set can grow
+//! (syslog, sockets) without touching the report schema.
+
+use std::fmt::Debug;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A destination for serialized one-line records. `Send` because the
+/// runtime that owns the pipeline crosses threads in parallel drivers.
+pub trait RecordSink: Debug + Send {
+    /// Accepts one record, already serialized without its trailing
+    /// newline. Sinks must not fail loudly — observability never takes
+    /// the process down.
+    fn write_line(&mut self, line: &str);
+
+    /// Flushes any buffering; default is a no-op.
+    fn flush(&mut self) {}
+}
+
+/// Collects records in memory behind a shared handle, so tests and
+/// drivers can read back what the pipeline emitted.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A second handle onto the same storage: register one clone with
+    /// the pipeline, keep the other to inspect.
+    pub fn handle(&self) -> MemorySink {
+        self.clone()
+    }
+
+    /// Everything written so far, in order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Number of records written.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("memory sink poisoned").len()
+    }
+
+    /// `true` when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl RecordSink for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.lines
+            .lock()
+            .expect("memory sink poisoned")
+            .push(line.to_owned());
+    }
+}
+
+/// Appends records to a JSONL file, one record per line. Creation and
+/// writes are best-effort: an unwritable path degrades to a no-op sink
+/// rather than failing the traced program.
+#[derive(Debug)]
+pub struct JsonlFileSink {
+    path: PathBuf,
+    file: Option<File>,
+}
+
+impl JsonlFileSink {
+    /// Opens (creating or appending to) the file at `path`.
+    pub fn new(path: &Path) -> JsonlFileSink {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok();
+        JsonlFileSink {
+            path: path.to_owned(),
+            file,
+        }
+    }
+
+    /// The path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `false` when the file could not be opened and writes are dropped.
+    pub fn is_open(&self) -> bool {
+        self.file.is_some()
+    }
+}
+
+impl RecordSink for JsonlFileSink {
+    fn write_line(&mut self, line: &str) {
+        if let Some(file) = self.file.as_mut() {
+            let _ = writeln!(file, "{line}");
+        }
+    }
+
+    fn flush(&mut self) {
+        if let Some(file) = self.file.as_mut() {
+            let _ = file.flush();
+        }
+    }
+}
+
+/// Writes records to stderr, one per line.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl StderrSink {
+    /// A stderr sink.
+    pub fn new() -> StderrSink {
+        StderrSink
+    }
+}
+
+impl RecordSink for StderrSink {
+    fn write_line(&mut self, line: &str) {
+        eprintln!("{line}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_shares_storage_across_handles() {
+        let sink = MemorySink::new();
+        let mut writer: Box<dyn RecordSink> = Box::new(sink.handle());
+        writer.write_line("{\"a\":1}");
+        writer.write_line("{\"b\":2}");
+        writer.flush();
+        assert_eq!(sink.lines(), vec!["{\"a\":1}", "{\"b\":2}"]);
+        assert_eq!(sink.len(), 2);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_appends_lines() {
+        let path = std::env::temp_dir().join(format!(
+            "csod-trace-sink-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = JsonlFileSink::new(&path);
+            assert!(sink.is_open());
+            assert_eq!(sink.path(), path.as_path());
+            sink.write_line("{\"n\":1}");
+            sink.write_line("{\"n\":2}");
+            sink.flush();
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"n\":1}\n{\"n\":2}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_path_degrades_silently() {
+        let mut sink = JsonlFileSink::new(Path::new("/nonexistent-dir/x/y.jsonl"));
+        assert!(!sink.is_open());
+        sink.write_line("dropped");
+        sink.flush();
+    }
+}

@@ -10,7 +10,7 @@ use crate::addr::{AccessKind, VirtAddr};
 use crate::clock::VirtInstant;
 use crate::signal::Signal;
 use crate::thread::ThreadId;
-use std::collections::VecDeque;
+use csod_trace::BoundedLog;
 use std::fmt;
 
 /// One recorded machine event.
@@ -80,12 +80,11 @@ impl fmt::Display for LogEvent {
     }
 }
 
-/// A bounded ring buffer of timestamped [`LogEvent`]s.
+/// A bounded ring buffer of timestamped [`LogEvent`]s, backed by the
+/// shared [`BoundedLog`] from `csod-trace`.
 #[derive(Debug)]
 pub struct FlightRecorder {
-    capacity: usize,
-    events: VecDeque<(VirtInstant, LogEvent)>,
-    dropped: u64,
+    log: BoundedLog<(VirtInstant, LogEvent)>,
 }
 
 impl FlightRecorder {
@@ -97,48 +96,45 @@ impl FlightRecorder {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "recorder capacity must be positive");
         FlightRecorder {
-            capacity,
-            events: VecDeque::with_capacity(capacity),
-            dropped: 0,
+            log: BoundedLog::new(capacity),
         }
     }
 
     /// Appends an event, evicting the oldest when full.
     pub fn record(&mut self, at: VirtInstant, event: LogEvent) {
-        if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.dropped += 1;
-        }
-        self.events.push_back((at, event));
+        self.log.push((at, event));
     }
 
     /// The retained events, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &(VirtInstant, LogEvent)> {
-        self.events.iter()
+        self.log.iter()
     }
 
     /// Number of retained events.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.log.len()
     }
 
     /// Whether nothing is retained.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.log.is_empty()
     }
 
     /// Events evicted because the buffer was full.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.log.evicted()
     }
 
     /// Renders the retained events one per line — the post-mortem dump.
     pub fn dump(&self) -> String {
         let mut out = String::new();
-        if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier event(s) dropped ...\n", self.dropped));
+        if self.dropped() > 0 {
+            out.push_str(&format!(
+                "... {} earlier event(s) dropped ...\n",
+                self.dropped()
+            ));
         }
-        for (at, event) in &self.events {
+        for (at, event) in self.log.iter() {
             out.push_str(&format!("{at}  {event}\n"));
         }
         out

@@ -5,6 +5,7 @@ use crate::trace::Event;
 use asan_sim::{Asan, AsanConfig};
 use csod_core::{Csod, CsodConfig};
 use csod_ctx::ContextKey;
+use csod_trace::TraceEventKind;
 use sampler_sim::{Sampler, SamplerConfig};
 use sim_heap::{HeapConfig, SimHeap};
 use sim_machine::{AccessKind, Machine, SiteToken, ThreadId, VirtAddr};
@@ -12,6 +13,10 @@ use std::fmt;
 use std::sync::Arc;
 
 /// Which tool (if any) a run executes under.
+// A handful of `ToolSpec`s exist per comparison run, so the size gap
+// between `Csod(CsodConfig)` and `Baseline` costs nothing; boxing the
+// config would only add a hop to every accessor.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ToolSpec {
     /// The unprotected program — the normalization baseline of Figure 7
@@ -126,6 +131,13 @@ pub struct RunOutcome {
     /// CSOD: per-context watch counts at exit, for attributing install
     /// spending to risk classes regardless of whether priors were on.
     pub context_watch_counts: Vec<(ContextKey, u64)>,
+    /// CSOD: trace events drained from the per-thread rings at exit
+    /// (zero when tracing is off at run time or compiled out).
+    pub trace_events: u64,
+    /// CSOD: trace events lost to ring wrap-around.
+    pub trace_dropped: u64,
+    /// CSOD: per-kind trace event counts, kinds never seen omitted.
+    pub trace_counts: Vec<(TraceEventKind, u64)>,
 }
 
 /// Executes [`Event`]s against a machine, heap and tool.
@@ -520,6 +532,10 @@ impl<'r> TraceRunner<'r> {
                     .iter()
                     .map(|r| r.render(csod.frames()))
                     .collect();
+                let trace = csod.drain_trace();
+                outcome.trace_events = trace.events.len() as u64;
+                outcome.trace_dropped = trace.dropped;
+                outcome.trace_counts = trace.counts();
             }
             ToolState::Asan(asan) => {
                 asan.finish(&mut self.machine, &mut self.heap);
@@ -732,6 +748,23 @@ mod tests {
         let csod = TraceRunner::new(&reg, ToolSpec::Csod(CsodConfig::default()))
             .run(uaf_trace());
         assert!(!csod.detected, "UAF is outside CSOD's scope (paper Section I)");
+    }
+
+    #[test]
+    fn run_outcome_carries_trace_summary() {
+        let reg = registry();
+        let outcome = TraceRunner::new(&reg, ToolSpec::Csod(CsodConfig::default()))
+            .run(bug_trace(SiteToken(0), AccessKind::Write));
+        if csod_trace::trace_compiled_off() {
+            assert_eq!(outcome.trace_events, 0);
+            assert!(outcome.trace_counts.is_empty());
+        } else {
+            assert!(outcome.trace_events > 0);
+            let kinds: Vec<_> = outcome.trace_counts.iter().map(|(k, _)| *k).collect();
+            assert!(kinds.contains(&TraceEventKind::AllocSampled));
+            assert!(kinds.contains(&TraceEventKind::WatchInstalled));
+            assert!(kinds.contains(&TraceEventKind::TrapFired));
+        }
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //!   baseline;
 //! * [`workloads`] — the paper's effectiveness and performance workloads;
 //! * [`analyze`] — the static overflow-risk pre-analysis that primes
-//!   the sampler with per-context priors.
+//!   the sampler with per-context priors;
+//! * [`trace`] — the always-on observability layer (event rings,
+//!   metrics snapshots, trap-report sinks); build with `--features
+//!   trace-off` to compile the tracer out.
 //!
 //! Run `cargo run --example quickstart` for a two-minute tour, and see
 //! DESIGN.md / EXPERIMENTS.md for the experiment index.
@@ -27,6 +30,7 @@ pub use sampler_sim as sampler;
 pub use csod_core as core;
 pub use csod_ctx as ctx;
 pub use csod_rng as rng;
+pub use csod_trace as trace;
 pub use sim_heap as heap;
 pub use sim_machine as machine;
 pub use workloads;

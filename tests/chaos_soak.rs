@@ -12,11 +12,23 @@ use csod::core::{CsodConfig, DegradationParams};
 use csod::machine::VirtDuration;
 use csod::workloads::{run_chaos_fleet, run_chaos_soak, ChaosConfig};
 
+/// Scale knob for the nightly CI soak: `CSOD_SOAK_ALLOCS` /
+/// `CSOD_FLEET_RUNS` grow the storms far past the per-push defaults
+/// without forking the test logic.
+fn env_scale(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
 #[test]
 fn million_allocation_soak_under_fault_storm_is_leak_free() {
+    let allocations = env_scale("CSOD_SOAK_ALLOCS", 1_000_000);
     let cfg = ChaosConfig {
         seed: 0xD15EA5E,
-        allocations: 1_000_000,
+        allocations,
         perf_failure_ppm: 300_000, // 30 % of perf syscalls fail
         signal_drop_ppm: 100_000,  // 10 % of SIGTRAPs vanish
         signal_delay_ppm: 50_000,
@@ -51,13 +63,18 @@ fn million_allocation_soak_under_fault_storm_is_leak_free() {
         out.free_registers,
         out.total_registers
     );
-    assert_eq!(out.summary.allocations, 1_000_000);
+    assert_eq!(out.summary.allocations, allocations);
     assert_eq!(out.planted, 16);
 
     // The storm actually happened: the plan injected failures and the
     // runtime absorbed them (visible in the health counters).
     assert!(out.faults.perf_failures() > 0, "no faults injected?");
-    assert!(out.faults.dropped_signals > 0);
+    // Signal drops need traps to drop; below the stock scale (a smoke
+    // run with CSOD_SOAK_ALLOCS lowered) too few watchpoints survive
+    // the storm to guarantee one.
+    if allocations >= 1_000_000 {
+        assert!(out.faults.dropped_signals > 0);
+    }
     assert!(out.summary.install_failures > 0);
 
     // Detection survived the storm: the planted overflows were caught
@@ -135,7 +152,8 @@ fn parallel_fleet_of_soaks_is_deterministic_and_leak_free() {
     // the acceptance storm: a Figure-3 install is many syscalls, and at
     // 30 % per-syscall failure essentially none succeed — here we want
     // watchpoints to actually install so the deferred-teardown path runs.
-    let configs: Vec<ChaosConfig> = (0..4)
+    let runs = env_scale("CSOD_FLEET_RUNS", 4);
+    let configs: Vec<ChaosConfig> = (0..runs)
         .map(|i| ChaosConfig {
             seed: 0xF1EE7 + i,
             allocations: 50_000,

@@ -1,0 +1,245 @@
+//! Tracked fleet-aggregation benchmark: JSONL ingest throughput and
+//! crash-recovery latency of the durable priors store.
+//!
+//! ```bash
+//! cargo run --release -p csod-bench --bin fleet            # writes BENCH_fleet.json
+//! cargo run --release -p csod-bench --bin fleet -- --check BENCH_fleet.json
+//! ```
+//!
+//! The default mode writes `BENCH_fleet.json` (flat keys, one number
+//! each) to the current directory; `--check <baseline>` re-runs the
+//! measurements and exits non-zero when any tracked metric regressed to
+//! more than twice the committed baseline — the CI perf-smoke gate.
+
+use csod_fleet::{FleetPriors, Ingestor, PriorsStore};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Lines per synthesized stream.
+const STREAM_LINES: usize = 40_000;
+/// Distinct contexts the stream cycles through.
+const CONTEXTS: usize = 256;
+/// Contexts in the recovery-bench checkpoint.
+const CKPT_CONTEXTS: usize = 5_000;
+/// WAL records replayed on top of the checkpoint at recovery.
+const WAL_RECORDS: usize = 10_000;
+/// Timed rounds (the fastest is reported, Criterion-style).
+const ROUNDS: usize = 8;
+/// Allowed slowdown versus the committed baseline before `--check` fails.
+const REGRESSION_FACTOR: f64 = 2.0;
+
+fn report_line(i: usize) -> String {
+    let ctx = i % CONTEXTS;
+    format!(
+        "{{\"method\":\"canary_free\",\"kind\":\"write\",\"thread\":0,\"ctx_id\":{ctx},\
+         \"object_start\":\"0x{:x}\",\"access_addr\":\"0x{:x}\",\"requested_size\":32,\
+         \"offset_past_end\":4,\"object_age_ns\":1200,\"at_ns\":{i},\
+         \"alloc_context\":[\"hot_{ctx}.c:9\",\"driver.c:7\",\"main.c:1\"],\
+         \"overflow_site\":[\"memcpy.S:81\"]}}",
+        0x10_0000 + i * 64,
+        0x10_0000 + i * 64 + 32,
+    )
+}
+
+/// A realistic stream: unique records, a sprinkle of torn lines, a
+/// terminator.
+fn synthesize_stream(corrupt_every: usize) -> String {
+    let mut out = String::with_capacity(STREAM_LINES * 220);
+    for i in 0..STREAM_LINES {
+        if corrupt_every != 0 && i % corrupt_every == 0 {
+            out.push_str("{\"method\":\"watchpoint\",\"kind\":\"wr");
+            out.push('\n');
+            continue;
+        }
+        out.push_str(&report_line(i));
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{{\"csod_stream_end\":true,\"records\":{STREAM_LINES}}}\n"
+    ));
+    out
+}
+
+/// ns per line through the corruption-tolerant ingest path.
+fn ingest_ns_per_line(corrupt_every: usize) -> f64 {
+    let stream = synthesize_stream(corrupt_every);
+    let lines = stream.lines().count();
+    let mut best = f64::INFINITY;
+    for round in 0..=ROUNDS {
+        // A fresh ingestor per round: dedupe state must not turn later
+        // rounds into pure hash hits.
+        let mut ingestor = Ingestor::new();
+        let mut priors = FleetPriors::new();
+        let start = Instant::now();
+        let summary = ingestor.ingest_str(&stream, &mut priors);
+        let ns = start.elapsed().as_nanos() as f64 / lines as f64;
+        assert!(summary.terminated);
+        std::hint::black_box(priors.len());
+        if round > 0 {
+            best = best.min(ns);
+        }
+    }
+    best
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csod-bench-fleet-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Milliseconds to recover a store carrying a checkpoint of
+/// `CKPT_CONTEXTS` contexts plus `WAL_RECORDS` WAL frames.
+fn recovery_ms() -> f64 {
+    let dir = bench_dir("recovery");
+    {
+        let mut store = PriorsStore::open(&dir).expect("bench dir");
+        for i in 0..CKPT_CONTEXTS {
+            store.observe(&format!("ckpt_{i}.c:1|main.c:1"), 1);
+        }
+        store.checkpoint().expect("checkpoint");
+        for i in 0..WAL_RECORDS {
+            store.observe(&format!("wal_{}.c:2|main.c:1", i % CKPT_CONTEXTS), 1);
+        }
+    }
+    let mut best = f64::INFINITY;
+    for round in 0..=ROUNDS {
+        let start = Instant::now();
+        let store = PriorsStore::open(&dir).expect("recover");
+        let ms = start.elapsed().as_nanos() as f64 / 1e6;
+        assert!(store.priors().len() >= CKPT_CONTEXTS);
+        std::hint::black_box(store.priors().len());
+        if round > 0 {
+            best = best.min(ms);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    best
+}
+
+/// Milliseconds to write one checkpoint of `CKPT_CONTEXTS` contexts.
+fn checkpoint_ms() -> f64 {
+    let dir = bench_dir("checkpoint");
+    let mut store = PriorsStore::open(&dir).expect("bench dir");
+    for i in 0..CKPT_CONTEXTS {
+        store.observe(&format!("ckpt_{i}.c:1|main.c:1"), 1);
+    }
+    let mut best = f64::INFINITY;
+    for round in 0..=ROUNDS {
+        let start = Instant::now();
+        store.checkpoint().expect("checkpoint");
+        let ms = start.elapsed().as_nanos() as f64 / 1e6;
+        if round > 0 {
+            best = best.min(ms);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    best
+}
+
+struct Results {
+    metrics: Vec<(&'static str, f64)>,
+}
+
+impl Results {
+    fn get(&self, key: &str) -> f64 {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("metric {key} missing"))
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v:.2}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn measure() -> Results {
+    eprintln!("fleet bench: clean-stream ingest ({STREAM_LINES} lines)...");
+    let clean = ingest_ns_per_line(0);
+    eprintln!("fleet bench: corrupt-heavy ingest (every 8th line torn)...");
+    let corrupt = ingest_ns_per_line(8);
+    eprintln!("fleet bench: recovery ({CKPT_CONTEXTS} ckpt contexts + {WAL_RECORDS} WAL records)...");
+    let recovery = recovery_ms();
+    eprintln!("fleet bench: checkpoint ({CKPT_CONTEXTS} contexts)...");
+    let checkpoint = checkpoint_ms();
+    Results {
+        metrics: vec![
+            ("stream_lines", STREAM_LINES as f64),
+            ("ingest_clean_ns_per_line", clean),
+            ("ingest_corrupt_ns_per_line", corrupt),
+            ("ingest_clean_mlines_per_s", 1e3 / clean),
+            ("recovery_ms", recovery),
+            ("checkpoint_ms", checkpoint),
+        ],
+    }
+}
+
+/// Pulls `"key": <number>` out of the flat baseline JSON — the file is
+/// written by this binary, so a full parser would be overkill.
+fn extract(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results = measure();
+    println!("\n=== fleet aggregation ===");
+    for (k, v) in &results.metrics {
+        println!("{k:>36}  {v:10.2}");
+    }
+
+    let check_pos = args.iter().position(|a| a == "--check");
+    let mut failed = false;
+    if let Some(pos) = check_pos {
+        let baseline_path = args.get(pos + 1).map_or("BENCH_fleet.json", |s| s.as_str());
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        for key in [
+            "ingest_clean_ns_per_line",
+            "ingest_corrupt_ns_per_line",
+            "recovery_ms",
+            "checkpoint_ms",
+        ] {
+            let base = extract(&baseline, key)
+                .unwrap_or_else(|| panic!("baseline {baseline_path} lacks {key}"));
+            let fresh = results.get(key);
+            let verdict = if fresh > base * REGRESSION_FACTOR {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!("check {key}: {fresh:.2} vs baseline {base:.2} ({verdict})");
+        }
+        if !failed {
+            println!("perf smoke passed");
+        }
+    }
+    // `--out` combines with `--check`: CI gates and refreshes the
+    // artifact in one run. Without either flag the default path is
+    // written, preserving the baseline-refresh behaviour.
+    if check_pos.is_none() || args.iter().any(|a| a == "--out") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|p| args.get(p + 1).cloned())
+            .unwrap_or_else(|| "BENCH_fleet.json".into());
+        std::fs::write(&out, results.to_json()).expect("baseline written");
+        println!("wrote {out}");
+    }
+    if failed {
+        eprintln!("perf smoke FAILED: fleet aggregation slower than {REGRESSION_FACTOR}x baseline");
+        std::process::exit(1);
+    }
+}

@@ -101,6 +101,28 @@ pub struct SamplingParams {
     pub revive_chance_ppm: u32,
 }
 
+impl SamplingParams {
+    /// These parameters with the initial watch probability multiplied by
+    /// `scale_ppm / PPM_SCALE` — the hook a fleet-wide budget
+    /// coordinator uses to shed per-process sampling smoothly under
+    /// overload instead of dropping reports.
+    ///
+    /// The scaled probability never drops below [`Self::floor_ppm`] (so
+    /// [`CsodConfig::validate`] keeps holding and every context retains
+    /// a non-zero chance), and evidence-pinned contexts are unaffected
+    /// by construction — pinning overrides the initial probability —
+    /// which keeps per-unique-bug detection probability high while the
+    /// aggregate trap volume comes down.
+    #[must_use]
+    pub fn scaled(mut self, scale_ppm: u32) -> SamplingParams {
+        let scale = u64::from(scale_ppm.min(PPM_SCALE));
+        let scaled = u64::from(self.initial_ppm) * scale / u64::from(PPM_SCALE);
+        let scaled = u32::try_from(scaled).unwrap_or(u32::MAX);
+        self.initial_ppm = scaled.max(self.floor_ppm.max(1));
+        self
+    }
+}
+
 impl Default for SamplingParams {
     fn default() -> Self {
         SamplingParams {

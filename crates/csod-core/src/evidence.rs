@@ -71,6 +71,23 @@ impl EvidenceStore {
         self.signatures.contains(&Self::signature(ctx, frames))
     }
 
+    /// Records an already-rendered signature — the seeding path for
+    /// aggregators (csod-fleet) that hold signatures recovered from
+    /// other processes' reports rather than live contexts. Returns
+    /// `true` if it was new; blank signatures are ignored.
+    pub fn insert_signature(&mut self, signature: &str) -> bool {
+        let sig = signature.trim();
+        if sig.is_empty() || sig.starts_with('#') {
+            return false;
+        }
+        self.signatures.insert(sig.to_owned())
+    }
+
+    /// Whether an already-rendered signature has recorded evidence.
+    pub fn contains_signature(&self, signature: &str) -> bool {
+        self.signatures.contains(signature)
+    }
+
     /// Number of recorded contexts.
     pub fn len(&self) -> usize {
         self.signatures.len()

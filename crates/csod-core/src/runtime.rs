@@ -1021,7 +1021,7 @@ impl Csod {
             // Like evidence, report logging is best-effort.
             let _ = std::fs::write(path, text);
         }
-        self.pipeline.flush();
+        self.pipeline.finish_stream();
     }
 
     // ----- introspection ---------------------------------------------------------------

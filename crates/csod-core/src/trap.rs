@@ -114,10 +114,19 @@ impl TrapReport {
 /// Routes every [`TrapReport`] to an in-memory store (always) and any
 /// number of registered line sinks (JSONL file, stderr, test memory
 /// sinks).
+///
+/// A stream written through this pipeline ends with one terminator
+/// record — [`ReportPipeline::terminator_line`] — emitted by
+/// [`ReportPipeline::finish_stream`] at orderly shutdown and by the
+/// `Drop` impl otherwise (including panic unwinding). A consumer that
+/// reads a stream with no terminator knows the writer died
+/// mid-execution; a terminator whose `records` count disagrees with the
+/// parsed lines reveals records lost to truncation.
 #[derive(Debug, Default)]
 pub struct ReportPipeline {
     reports: Vec<TrapReport>,
     sinks: Vec<Box<dyn RecordSink>>,
+    terminated: bool,
 }
 
 impl ReportPipeline {
@@ -159,11 +168,41 @@ impl ReportPipeline {
         self.reports.is_empty()
     }
 
+    /// The stream-end record for a stream of `records` reports: a JSON
+    /// line a reader can both recognize and use to audit completeness.
+    pub fn terminator_line(records: u64) -> String {
+        format!("{{\"csod_stream_end\":true,\"records\":{records}}}")
+    }
+
     /// Flushes every sink (end of run).
     pub fn flush(&mut self) {
         for sink in &mut self.sinks {
             sink.flush();
         }
+    }
+
+    /// Ends the stream: writes the terminator record to every sink and
+    /// flushes. Idempotent, so an orderly [`finish`](Self::finish_stream)
+    /// followed by `Drop` emits exactly one terminator.
+    pub fn finish_stream(&mut self) {
+        if self.terminated {
+            return;
+        }
+        self.terminated = true;
+        let line = Self::terminator_line(self.reports.len() as u64);
+        for sink in &mut self.sinks {
+            sink.write_line(&line);
+        }
+        self.flush();
+    }
+}
+
+impl Drop for ReportPipeline {
+    fn drop(&mut self) {
+        // A runtime torn down without finish() — a panic unwinding the
+        // owner, an early return — still terminates its streams, so
+        // readers can tell "writer finished" from "writer vanished".
+        self.finish_stream();
     }
 }
 
@@ -222,6 +261,37 @@ mod tests {
         assert!(mem.lines()[1].contains("\"method\":\"canary_free\""));
         assert!(mem.lines()[1].contains("\"overflow_site\":[]"));
         assert_eq!(pipeline.reports()[0].ctx_id, CtxId::from_index(7));
+    }
+
+    #[test]
+    fn finish_stream_terminates_exactly_once() {
+        let mem = MemorySink::new();
+        {
+            let mut pipeline = ReportPipeline::new();
+            pipeline.add_sink(Box::new(mem.handle()));
+            pipeline.emit(sample());
+            pipeline.finish_stream();
+            pipeline.finish_stream(); // idempotent
+                                      // Drop fires here and must not add a second terminator.
+        }
+        let lines = mem.lines();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[1], ReportPipeline::terminator_line(1));
+    }
+
+    #[test]
+    fn dropped_pipeline_terminates_its_stream() {
+        let mem = MemorySink::new();
+        let result = std::panic::catch_unwind(|| {
+            let mut pipeline = ReportPipeline::new();
+            pipeline.add_sink(Box::new(mem.handle()));
+            pipeline.emit(sample());
+            panic!("owner unwinds");
+        });
+        assert!(result.is_err());
+        let lines = mem.lines();
+        assert_eq!(lines.len(), 2, "report + terminator survive the panic");
+        assert!(lines[1].contains("\"csod_stream_end\":true"));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Fleet soak driver for CI.
+//!
+//! Runs a csod-fleet aggregation loop against the chaos workload and
+//! prints the fleet summary plus the health-counter metrics. Two modes
+//! beyond the default soak support the kill-and-recover CI leg:
+//!
+//! - `--dir <path>` roots the journal somewhere durable so a later
+//!   invocation can recover it (default: a fresh temp dir, removed on
+//!   success).
+//! - `--verify` skips the soak and only recovers the store under
+//!   `--dir`, failing if recovery comes back empty or inconsistent —
+//!   this is what CI runs after `kill -9`ing a soak mid-flight.
+//!
+//! Scale knobs (also honoured by the nightly-chaos CI job):
+//! `CSOD_FLEET_RUNS` multiplies workers and generations,
+//! `CSOD_FLEET_CRASH_PPM` overrides the injected crash rate.
+
+use csod_fleet::{FleetConfig, FleetController, PriorsStore};
+use csod_rng::PPM_SCALE;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn env_scale(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn parse_args() -> (Option<PathBuf>, bool) {
+    let mut dir = None;
+    let mut verify = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = args.next().map(PathBuf::from),
+            "--verify" => verify = true,
+            other => {
+                eprintln!("unknown argument: {other} (expected --dir <path> or --verify)");
+                std::process::exit(2);
+            }
+        }
+    }
+    (dir, verify)
+}
+
+fn main() -> ExitCode {
+    let (dir_arg, verify) = parse_args();
+    let dir = dir_arg.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("csod-fleet-soak-{}", std::process::id()))
+    });
+
+    if verify {
+        return match PriorsStore::open(&dir) {
+            Ok(store) => {
+                let stats = store.stats();
+                println!(
+                    "recovered: {} context(s), epoch {}, {} WAL record(s) replayed, {} tail frame(s) rejected, {} checkpoint fallback(s)",
+                    store.priors().len(),
+                    store.epoch(),
+                    stats.wal_records_recovered,
+                    stats.wal_tail_rejected,
+                    stats.checkpoint_fallbacks
+                );
+                if store.priors().is_empty() {
+                    eprintln!("FAIL: recovery produced an empty aggregate");
+                    ExitCode::FAILURE
+                } else {
+                    println!("kill-and-recover: OK");
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(err) => {
+                eprintln!("FAIL: could not recover the priors store: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let scale = env_scale("CSOD_FLEET_RUNS", 1).max(1);
+    let mut cfg = FleetConfig::new(&dir);
+    cfg.workers = (4 * scale as usize).min(32);
+    cfg.generations = 2 + scale;
+    cfg.threads = 4;
+    cfg.crash_ppm = env_scale("CSOD_FLEET_CRASH_PPM", 200_000) as u32; // 20 % of runs
+    cfg.corrupt_line_ppm = PPM_SCALE / 4;
+    cfg.duplicate_line_ppm = PPM_SCALE / 4;
+
+    let mut fleet = match FleetController::new(cfg) {
+        Ok(fleet) => fleet,
+        Err(err) => {
+            eprintln!("FAIL: could not open the fleet directory {}: {err}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = fleet.run();
+    println!("{outcome}");
+    println!("{}", outcome.metrics_registry().to_json());
+
+    if !outcome.leak_free {
+        eprintln!("FAIL: a completed worker leaked runtime state");
+        return ExitCode::FAILURE;
+    }
+    if !outcome.detected {
+        eprintln!("FAIL: no worker detected a planted overflow");
+        return ExitCode::FAILURE;
+    }
+    if outcome.confirmed_contexts == 0 {
+        eprintln!("FAIL: nothing reached the durable aggregate");
+        return ExitCode::FAILURE;
+    }
+    if dir_arg.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("fleet soak: OK");
+    ExitCode::SUCCESS
+}

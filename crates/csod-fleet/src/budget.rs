@@ -1,0 +1,151 @@
+//! The global sampling-budget coordinator.
+//!
+//! Aggregation capacity is finite: a fleet-wide burst of trap reports
+//! must not translate into dropped reports at the ingest side. Instead,
+//! the coordinator degrades the *source* smoothly — it maintains one
+//! scale factor (in ppm) applied to every worker's initial watch
+//! probability through [`SamplingParams::scaled`](csod_core::SamplingParams::scaled).
+//! When a generation's report volume exceeds the budget, the scale
+//! moves part-way toward the ideal multiplicative target
+//! (`scale × budget ⁄ volume`); calm generations recover additively.
+//! Evidence-pinned contexts bypass the initial probability entirely, so
+//! shedding lowers the *volume* of redundant confirmations while
+//! per-unique-bug detection probability stays high.
+
+use csod_rng::PPM_SCALE;
+
+/// Budget-shedding knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetPolicy {
+    /// Unique reports per generation the fleet is provisioned for.
+    pub max_reports_per_generation: u64,
+    /// Floor for the sampling scale, in ppm — shedding never silences a
+    /// worker completely.
+    pub min_scale_ppm: u32,
+    /// Additive recovery per calm generation, in ppm.
+    pub recover_step_ppm: u32,
+    /// How far toward the multiplicative target one overloaded
+    /// generation moves the scale, in ppm (1_000_000 jumps straight to
+    /// the target; smaller values smooth the descent).
+    pub smoothing_ppm: u32,
+}
+
+impl Default for BudgetPolicy {
+    fn default() -> Self {
+        BudgetPolicy {
+            max_reports_per_generation: 1_024,
+            min_scale_ppm: PPM_SCALE / 100, // never below 1 % of nominal
+            recover_step_ppm: PPM_SCALE / 10,
+            smoothing_ppm: PPM_SCALE / 2,
+        }
+    }
+}
+
+/// The coordinator: one per fleet controller.
+#[derive(Debug)]
+pub struct BudgetCoordinator {
+    policy: BudgetPolicy,
+    scale_ppm: u32,
+    sheds: u64,
+    observed: u64,
+}
+
+impl BudgetCoordinator {
+    /// A coordinator at full scale.
+    pub fn new(policy: BudgetPolicy) -> BudgetCoordinator {
+        BudgetCoordinator {
+            policy,
+            scale_ppm: PPM_SCALE,
+            sheds: 0,
+            observed: 0,
+        }
+    }
+
+    /// The current per-worker sampling scale, in ppm of nominal.
+    pub fn scale_ppm(&self) -> u32 {
+        self.scale_ppm
+    }
+
+    /// Times the scale was shed because a generation blew the budget.
+    pub fn sheds(&self) -> u64 {
+        self.sheds
+    }
+
+    /// Total reports observed across all generations.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Feeds one generation's report volume; returns the scale the
+    /// *next* generation should run at.
+    pub fn observe_generation(&mut self, reports: u64) -> u32 {
+        self.observed += reports;
+        let budget = self.policy.max_reports_per_generation.max(1);
+        if reports > budget {
+            // Ideal multiplicative target, then smoothed part-way there.
+            let target =
+                (u128::from(self.scale_ppm) * u128::from(budget) / u128::from(reports)) as u64;
+            let gap = u64::from(self.scale_ppm).saturating_sub(target);
+            let step = gap * u64::from(self.policy.smoothing_ppm) / u64::from(PPM_SCALE);
+            let next = u64::from(self.scale_ppm).saturating_sub(step.max(1));
+            self.scale_ppm = (next as u32).max(self.policy.min_scale_ppm);
+            self.sheds += 1;
+        } else {
+            self.scale_ppm = self
+                .scale_ppm
+                .saturating_add(self.policy.recover_step_ppm)
+                .min(PPM_SCALE);
+        }
+        self.scale_ppm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(budget: u64) -> BudgetPolicy {
+        BudgetPolicy {
+            max_reports_per_generation: budget,
+            ..BudgetPolicy::default()
+        }
+    }
+
+    #[test]
+    fn overload_sheds_smoothly_toward_the_target() {
+        let mut b = BudgetCoordinator::new(policy(100));
+        // 4x over budget: ideal target is 250_000; half-way smoothing
+        // lands at 625_000.
+        assert_eq!(b.observe_generation(400), 625_000);
+        assert_eq!(b.sheds(), 1);
+        // Still over: keeps descending, never below the floor.
+        for _ in 0..50 {
+            b.observe_generation(400);
+        }
+        assert_eq!(b.scale_ppm(), BudgetPolicy::default().min_scale_ppm);
+    }
+
+    #[test]
+    fn calm_generations_recover_additively_to_full() {
+        let mut b = BudgetCoordinator::new(policy(100));
+        b.observe_generation(1_000);
+        let shed_to = b.scale_ppm();
+        assert!(shed_to < PPM_SCALE);
+        for _ in 0..20 {
+            b.observe_generation(10);
+        }
+        assert_eq!(b.scale_ppm(), PPM_SCALE, "fully recovered");
+        assert_eq!(b.sheds(), 1);
+    }
+
+    #[test]
+    fn within_budget_never_sheds() {
+        let mut b = BudgetCoordinator::new(policy(100));
+        for _ in 0..10 {
+            b.observe_generation(100);
+        }
+        assert_eq!(b.sheds(), 0);
+        assert_eq!(b.scale_ppm(), PPM_SCALE);
+        assert_eq!(b.observed(), 1_000);
+    }
+}

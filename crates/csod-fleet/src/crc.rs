@@ -1,0 +1,61 @@
+//! CRC32 (IEEE 802.3 polynomial) for framing journal records.
+//!
+//! The journal needs a checksum that is cheap, dependency-free and
+//! stable across platforms — corruption detection, not cryptography. A
+//! truncated or bit-flipped frame fails its CRC and recovery stops at
+//! the last good record, which is exactly the "consistent snapshot after
+//! `kill -9` at any byte offset" contract.
+
+/// Reflected CRC32 lookup table for the IEEE polynomial `0xEDB88320`,
+/// built at compile time.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC32 of `bytes` (IEEE, reflected, init and final XOR `!0`): the
+/// same value `cksum`-style tools call "crc32".
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn corruption_changes_the_crc() {
+        let good = crc32(b"mem.c:312|main.c:1");
+        let bad = crc32(b"mem.c:313|main.c:1");
+        assert_ne!(good, bad);
+    }
+}

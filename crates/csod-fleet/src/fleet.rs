@@ -1,0 +1,578 @@
+//! The fleet controller: detect → persist → reseed, crash-safely.
+//!
+//! One controller drives a fleet of chaos-soak workers for a number of
+//! generations. Each generation it (1) seeds every runnable worker with
+//! the aggregate's evidence file so previously-confirmed contexts start
+//! pinned at 100 % — the paper's §V-A2 second-execution guarantee,
+//! now fleet-wide and crash-durable; (2) fans the workers across OS
+//! threads; (3) ingests their TrapReport JSONL streams through the
+//! corruption-tolerant [`Ingestor`]; (4) journals every new confirmation
+//! in the [`PriorsStore`] and checkpoints; and (5) feeds the generation's
+//! report volume to the [`BudgetCoordinator`], which scales the next
+//! generation's sampling when the fleet runs hot.
+//!
+//! Worker failure is part of the model, not an exception path: panics
+//! are caught, injected crashes truncate the worker's stream at an
+//! arbitrary byte offset (what a `kill -9` leaves behind), the
+//! [`Supervisor`] backs crashing workers off and quarantines repeat
+//! offenders, and a graceful drain closes the run.
+
+use crate::budget::{BudgetCoordinator, BudgetPolicy};
+use crate::ingest::Ingestor;
+use crate::journal::PriorsStore;
+use crate::supervisor::{Supervisor, SupervisorPolicy, WorkerHealth};
+use csod_rng::{Arc4Random, PPM_SCALE};
+use csod_trace::MetricsRegistry;
+use std::fmt;
+use std::io;
+use std::panic::AssertUnwindSafe;
+use std::path::{Path, PathBuf};
+use workloads::{run_parallel, ChaosConfig, ChaosOutcome};
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Directory holding the journal, checkpoints, evidence seeds and
+    /// worker streams.
+    pub dir: PathBuf,
+    /// Workers per generation.
+    pub workers: usize,
+    /// Generations to run.
+    pub generations: u64,
+    /// OS threads the workers fan across.
+    pub threads: usize,
+    /// Template soak every worker derives its config from (per-worker
+    /// seed, sampling scale, evidence and stream paths are overridden).
+    pub base: ChaosConfig,
+    /// Worker supervision policy.
+    pub supervisor: SupervisorPolicy,
+    /// Budget-shedding policy.
+    pub budget: BudgetPolicy,
+    /// Chance per worker-generation of an injected crash (stream
+    /// truncated at a random offset, outcome lost), in ppm.
+    pub crash_ppm: u32,
+    /// Chance per stream of an injected corrupt (partial) line, in ppm.
+    pub corrupt_line_ppm: u32,
+    /// Chance per stream of a duplicated record, in ppm.
+    pub duplicate_line_ppm: u32,
+    /// Seed for every injection decision.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// A small-soak fleet rooted at `dir`: four workers, two
+    /// generations, no injected failures.
+    pub fn new(dir: &Path) -> FleetConfig {
+        FleetConfig {
+            dir: dir.to_owned(),
+            workers: 4,
+            generations: 2,
+            threads: 4,
+            base: ChaosConfig {
+                allocations: 4_000,
+                sites: 8,
+                ring: 16,
+                thread_churn: 1,
+                planted_overflows: 2,
+                ..ChaosConfig::default()
+            },
+            supervisor: SupervisorPolicy::default(),
+            budget: BudgetPolicy::default(),
+            crash_ppm: 0,
+            corrupt_line_ppm: 0,
+            duplicate_line_ppm: 0,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+/// What a fleet run observed, aggregated across workers and
+/// generations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetOutcome {
+    /// Generations completed.
+    pub generations: u64,
+    /// Worker executions started.
+    pub worker_runs: u64,
+    /// Worker crashes (injected or caught panics).
+    pub worker_crashes: u64,
+    /// Workers quarantined by the supervisor.
+    pub workers_quarantined: u64,
+    /// Workers restarted after a backoff.
+    pub worker_restarts: u64,
+    /// Unique reports ingested into the aggregate.
+    pub records_ingested: u64,
+    /// Corrupt lines skipped by the ingestor.
+    pub records_skipped_corrupt: u64,
+    /// Duplicate reports collapsed by the ingestor.
+    pub records_deduped: u64,
+    /// Streams that came back without a terminator record.
+    pub streams_unterminated: u64,
+    /// Streams of quarantined workers set aside unread.
+    pub streams_quarantined: u64,
+    /// Checkpoints the journal wrote.
+    pub journal_checkpoints: u64,
+    /// Checkpoint attempts that failed (journal kept its old state).
+    pub checkpoint_failures: u64,
+    /// Times the budget coordinator shed the sampling scale.
+    pub budget_sheds: u64,
+    /// Sampling scale at the end of the run, in ppm of nominal.
+    pub final_scale_ppm: u32,
+    /// Confirmed overflowing contexts in the durable aggregate.
+    pub confirmed_contexts: usize,
+    /// Whether every completed worker run was leak-free.
+    pub leak_free: bool,
+    /// Whether any worker detected an overflow.
+    pub detected: bool,
+}
+
+impl FleetOutcome {
+    /// The fleet-health counters as a metrics snapshot, servable as
+    /// JSON or Prometheus text next to the runtime's own registry.
+    pub fn metrics_registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("csod_fleet_generations", self.generations);
+        reg.set_counter("csod_fleet_worker_runs", self.worker_runs);
+        reg.set_counter("csod_fleet_worker_crashes", self.worker_crashes);
+        reg.set_counter("csod_fleet_workers_quarantined", self.workers_quarantined);
+        reg.set_counter("csod_fleet_worker_restarts", self.worker_restarts);
+        reg.set_counter("csod_fleet_records_ingested", self.records_ingested);
+        reg.set_counter(
+            "csod_fleet_records_skipped_corrupt",
+            self.records_skipped_corrupt,
+        );
+        reg.set_counter("csod_fleet_records_deduped", self.records_deduped);
+        reg.set_counter("csod_fleet_streams_unterminated", self.streams_unterminated);
+        reg.set_counter("csod_fleet_streams_quarantined", self.streams_quarantined);
+        reg.set_counter("csod_fleet_journal_checkpoints", self.journal_checkpoints);
+        reg.set_counter("csod_fleet_checkpoint_failures", self.checkpoint_failures);
+        reg.set_counter("csod_fleet_budget_sheds", self.budget_sheds);
+        reg.set_gauge("csod_fleet_sampling_scale_ppm", f64::from(self.final_scale_ppm));
+        reg.set_gauge(
+            "csod_fleet_confirmed_contexts",
+            self.confirmed_contexts as f64,
+        );
+        reg
+    }
+}
+
+impl fmt::Display for FleetOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "==== CSOD fleet summary ====")?;
+        writeln!(
+            f,
+            "generations: {}, worker runs: {} ({} crash(es), {} restart(s), {} quarantined)",
+            self.generations,
+            self.worker_runs,
+            self.worker_crashes,
+            self.worker_restarts,
+            self.workers_quarantined
+        )?;
+        writeln!(
+            f,
+            "ingest: {} record(s), {} corrupt skipped, {} deduped, {} unterminated stream(s), {} quarantined stream(s)",
+            self.records_ingested,
+            self.records_skipped_corrupt,
+            self.records_deduped,
+            self.streams_unterminated,
+            self.streams_quarantined
+        )?;
+        writeln!(
+            f,
+            "journal: {} checkpoint(s) ({} failed), {} confirmed context(s)",
+            self.journal_checkpoints, self.checkpoint_failures, self.confirmed_contexts
+        )?;
+        write!(
+            f,
+            "budget: {} shed(s), final scale {} ppm; leak-free: {}, detected: {}",
+            self.budget_sheds, self.final_scale_ppm, self.leak_free, self.detected
+        )
+    }
+}
+
+/// One worker's assignment for a generation.
+#[derive(Debug, Clone)]
+struct WorkerJob {
+    worker: usize,
+    cfg: ChaosConfig,
+    stream: PathBuf,
+    /// Injected crash: truncate the stream to this many ppm of its
+    /// length, discard the outcome.
+    crash_cut_ppm: Option<u32>,
+}
+
+/// Result of one worker execution.
+#[derive(Debug)]
+enum WorkerRun {
+    Completed(Box<ChaosOutcome>),
+    Crashed,
+}
+
+/// The fleet controller.
+#[derive(Debug)]
+pub struct FleetController {
+    cfg: FleetConfig,
+    store: PriorsStore,
+    ingestor: Ingestor,
+    supervisor: Supervisor,
+    budget: BudgetCoordinator,
+    rng: Arc4Random,
+    streams_quarantined: u64,
+    checkpoint_failures: u64,
+    worker_crashes: u64,
+}
+
+impl FleetController {
+    /// Opens (recovering if necessary) the durable store under
+    /// `cfg.dir` and prepares a fleet.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failure to create the fleet directory.
+    pub fn new(cfg: FleetConfig) -> io::Result<FleetController> {
+        let store = PriorsStore::open(&cfg.dir)?;
+        let supervisor = Supervisor::new(cfg.supervisor, cfg.workers.max(1));
+        let budget = BudgetCoordinator::new(cfg.budget);
+        let rng = Arc4Random::from_seed(cfg.seed, 0xF1EE);
+        Ok(FleetController {
+            cfg,
+            store,
+            ingestor: Ingestor::new(),
+            supervisor,
+            budget,
+            rng,
+            streams_quarantined: 0,
+            checkpoint_failures: 0,
+            worker_crashes: 0,
+        })
+    }
+
+    /// The durable priors store (recovered state before `run`, final
+    /// state after).
+    pub fn store(&self) -> &PriorsStore {
+        &self.store
+    }
+
+    /// Runs every generation, then drains. Never panics on worker
+    /// failure; returns the aggregated outcome.
+    pub fn run(&mut self) -> FleetOutcome {
+        let mut leak_free = true;
+        let mut detected = false;
+        let mut worker_runs = 0u64;
+        for generation in 0..self.cfg.generations {
+            let jobs = self.schedule(generation);
+            worker_runs += jobs.len() as u64;
+            let results = run_parallel(&jobs, self.cfg.threads.max(1), |job| {
+                let soak =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| workloads::run_chaos_soak(&job.cfg)));
+                match soak {
+                    Ok(out) => match job.crash_cut_ppm {
+                        // An injected crash loses the in-process outcome
+                        // and leaves a stream chopped mid-byte — exactly
+                        // the `kill -9` residue the ingestor must absorb.
+                        Some(cut) => {
+                            truncate_file(&job.stream, cut);
+                            WorkerRun::Crashed
+                        }
+                        None => WorkerRun::Completed(Box::new(out)),
+                    },
+                    Err(_) => WorkerRun::Crashed,
+                }
+            });
+
+            let ingested_before = self.ingestor.stats().records_ingested;
+            for (job, result) in jobs.iter().zip(&results) {
+                match result {
+                    WorkerRun::Crashed => {
+                        self.worker_crashes += 1;
+                        let health = self.supervisor.record_crash(job.worker, generation);
+                        if matches!(health, WorkerHealth::Quarantined) {
+                            // Poison worker: set its stream aside unread.
+                            self.quarantine_stream(&job.stream);
+                        } else {
+                            // A partial stream is still data — the
+                            // tolerant ingestor takes what parses.
+                            self.corrupt_and_ingest(&job.stream);
+                        }
+                    }
+                    WorkerRun::Completed(out) => {
+                        leak_free &= out.leak_free();
+                        detected |= out.detected;
+                        let summary = self.corrupt_and_ingest(&job.stream);
+                        if summary {
+                            self.supervisor.record_success(job.worker);
+                        } else {
+                            // Health probe failed: the stream never
+                            // terminated although the worker "returned".
+                            self.supervisor.record_probe_failure(job.worker, generation);
+                        }
+                    }
+                }
+            }
+            if self.store.checkpoint().is_err() {
+                self.checkpoint_failures += 1;
+            }
+            let produced = self.ingestor.stats().records_ingested - ingested_before;
+            self.budget.observe_generation(produced);
+        }
+        self.supervisor.drain();
+
+        let istats = self.ingestor.stats();
+        let sstats = self.store.stats();
+        FleetOutcome {
+            generations: self.cfg.generations,
+            worker_runs,
+            worker_crashes: self.worker_crashes,
+            workers_quarantined: self.supervisor.quarantined(),
+            worker_restarts: self.supervisor.restarts(),
+            records_ingested: istats.records_ingested,
+            records_skipped_corrupt: istats.records_skipped_corrupt,
+            records_deduped: istats.records_deduped,
+            streams_unterminated: istats.streams_unterminated,
+            streams_quarantined: self.streams_quarantined,
+            journal_checkpoints: sstats.journal_checkpoints,
+            checkpoint_failures: self.checkpoint_failures,
+            budget_sheds: self.budget.sheds(),
+            final_scale_ppm: self.budget.scale_ppm(),
+            confirmed_contexts: self.store.priors().len(),
+            leak_free,
+            detected,
+        }
+    }
+
+    /// Builds the runnable jobs for `generation`: evidence seed files,
+    /// per-worker stream paths, budget-scaled sampling, injected-crash
+    /// draws.
+    fn schedule(&mut self, generation: u64) -> Vec<WorkerJob> {
+        let scale = self.budget.scale_ppm();
+        let mut jobs = Vec::new();
+        for worker in 0..self.cfg.workers.max(1) {
+            if !self.supervisor.should_run(worker, generation) {
+                continue;
+            }
+            self.supervisor.begin_run(worker);
+            let seed_path = self
+                .cfg
+                .dir
+                .join(format!("evidence-g{generation}-w{worker}.evi"));
+            // Seeding is best-effort: a full disk degrades re-watching,
+            // not the run.
+            let _ = self.store.priors().write_evidence_file(&seed_path);
+            let stream = self
+                .cfg
+                .dir
+                .join(format!("stream-g{generation}-w{worker}.jsonl"));
+            let _ = std::fs::remove_file(&stream);
+            let mut cfg = self.cfg.base.clone();
+            cfg.seed = self
+                .cfg
+                .base
+                .seed
+                .wrapping_add((generation * 1_000 + worker as u64 + 1).wrapping_mul(0x9E37_79B9));
+            cfg.csod.sampling = self.cfg.base.csod.sampling.scaled(scale);
+            cfg.csod.evidence_path = Some(seed_path);
+            cfg.csod.trace.trap_report_path = Some(stream.clone());
+            let crash_cut_ppm = self
+                .rng
+                .chance_ppm(self.cfg.crash_ppm)
+                .then(|| self.rng.uniform(PPM_SCALE));
+            jobs.push(WorkerJob {
+                worker,
+                cfg,
+                stream,
+                crash_cut_ppm,
+            });
+        }
+        jobs
+    }
+
+    /// Applies the configured stream corruption, ingests the stream,
+    /// journals its observations. Returns whether the stream carried a
+    /// terminator.
+    fn corrupt_and_ingest(&mut self, stream: &Path) -> bool {
+        // Duplicate before corrupting: the torn fragment carries no
+        // trailing newline (that's what makes it torn), so anything
+        // appended after it would fuse into the same garbage line.
+        if self.rng.chance_ppm(self.cfg.duplicate_line_ppm) {
+            duplicate_first_line(stream);
+        }
+        if self.rng.chance_ppm(self.cfg.corrupt_line_ppm) {
+            append_partial_line(stream);
+        }
+        let mut scratch = crate::priors::FleetPriors::new();
+        let summary = self.ingestor.ingest_file(stream, &mut scratch);
+        for (sig, count) in &summary.observations {
+            self.store.observe(sig, *count);
+        }
+        summary.terminated
+    }
+
+    fn quarantine_stream(&mut self, stream: &Path) {
+        let mut target = stream.as_os_str().to_owned();
+        target.push(".quarantined");
+        let _ = std::fs::rename(stream, PathBuf::from(target));
+        self.streams_quarantined += 1;
+    }
+}
+
+/// Chops the file at `path` to `cut_ppm` millionths of its length —
+/// mid-line, mid-record, wherever that lands.
+fn truncate_file(path: &Path, cut_ppm: u32) {
+    let Ok(bytes) = std::fs::read(path) else {
+        return;
+    };
+    let keep = (bytes.len() as u64 * u64::from(cut_ppm) / u64::from(PPM_SCALE)) as usize;
+    let _ = std::fs::write(path, &bytes[..keep.min(bytes.len())]);
+}
+
+/// Appends a torn, unterminated record fragment — an interleaved
+/// partial write.
+fn append_partial_line(path: &Path) {
+    use std::io::Write as _;
+    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+        let _ = f.write_all(b"{\"method\":\"watchpoint\",\"kind\":\"wr");
+    }
+}
+
+/// Re-appends the first record of the stream — a log shipper delivering
+/// a duplicate.
+fn duplicate_first_line(path: &Path) {
+    use std::io::Write as _;
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let Some(first) = text.lines().next().map(str::to_owned) else {
+        return;
+    };
+    if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(path) {
+        let _ = writeln!(f, "{first}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("csod-fleet-run-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_fleet(dir: &Path) -> FleetConfig {
+        let mut cfg = FleetConfig::new(dir);
+        cfg.workers = 2;
+        cfg.threads = 2;
+        cfg.base.allocations = 2_000;
+        cfg
+    }
+
+    #[test]
+    fn clean_fleet_confirms_contexts_and_checkpoints() {
+        let dir = fleet_dir("clean");
+        let mut fleet = FleetController::new(small_fleet(&dir)).unwrap();
+        let out = fleet.run();
+        assert!(out.leak_free);
+        assert!(out.detected, "planted overflows reach the aggregate");
+        assert!(out.confirmed_contexts > 0);
+        assert_eq!(out.worker_crashes, 0);
+        assert_eq!(out.journal_checkpoints, out.generations);
+        assert_eq!(out.records_skipped_corrupt, 0);
+        assert_eq!(out.streams_unterminated, 0);
+        // The durable store agrees with the outcome.
+        assert_eq!(fleet.store().priors().len(), out.confirmed_contexts);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn outcome_metrics_expose_the_health_counters() {
+        let dir = fleet_dir("metrics");
+        let mut fleet = FleetController::new(small_fleet(&dir)).unwrap();
+        let out = fleet.run();
+        let reg = out.metrics_registry();
+        let json = reg.to_json();
+        for key in [
+            "csod_fleet_records_skipped_corrupt",
+            "csod_fleet_workers_quarantined",
+            "csod_fleet_journal_checkpoints",
+            "csod_fleet_budget_sheds",
+        ] {
+            assert!(json.contains(key), "{key} missing from {json}");
+            assert!(reg.to_prometheus().contains(key));
+        }
+        let text = out.to_string();
+        assert!(text.contains("CSOD fleet summary"));
+        assert!(text.contains("checkpoint(s)"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_generation_reseeds_from_the_first() {
+        let dir = fleet_dir("reseed");
+        let mut cfg = small_fleet(&dir);
+        cfg.generations = 2;
+        let mut fleet = FleetController::new(cfg).unwrap();
+        fleet.run();
+        // The generation-1 evidence seeds exist and are non-trivial.
+        let seed = std::fs::read_to_string(dir.join("evidence-g1-w0.evi")).unwrap();
+        assert!(
+            seed.lines().any(|l| !l.is_empty() && !l.starts_with('#')),
+            "generation 1 was seeded with confirmed contexts: {seed}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crashing_workers_back_off_and_quarantine() {
+        let dir = fleet_dir("crash");
+        let mut cfg = small_fleet(&dir);
+        cfg.crash_ppm = PPM_SCALE; // every run crashes
+        cfg.generations = 12;
+        cfg.supervisor = SupervisorPolicy {
+            max_consecutive_failures: 2,
+            base_backoff: 1,
+            max_backoff: 4,
+        };
+        let mut fleet = FleetController::new(cfg).unwrap();
+        let out = fleet.run();
+        assert!(out.worker_crashes > 0);
+        assert_eq!(out.workers_quarantined, 2, "both workers end quarantined");
+        assert!(out.streams_quarantined > 0);
+        // Quarantine bounds the damage: far fewer runs than 2 x 12.
+        assert!(out.worker_runs < 24);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_corruption_is_counted_not_fatal() {
+        let dir = fleet_dir("corrupt");
+        let mut cfg = small_fleet(&dir);
+        cfg.corrupt_line_ppm = PPM_SCALE;
+        cfg.duplicate_line_ppm = PPM_SCALE;
+        let mut fleet = FleetController::new(cfg).unwrap();
+        let out = fleet.run();
+        assert!(out.records_skipped_corrupt > 0, "every stream got a torn line");
+        assert!(out.leak_free);
+        assert!(out.confirmed_contexts > 0, "corruption didn't block ingestion");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overloaded_fleet_sheds_sampling_smoothly() {
+        let dir = fleet_dir("budget");
+        let mut cfg = small_fleet(&dir);
+        cfg.budget.max_reports_per_generation = 1; // everything is overload
+        cfg.generations = 3;
+        let mut fleet = FleetController::new(cfg).unwrap();
+        let out = fleet.run();
+        assert!(out.budget_sheds > 0);
+        assert!(out.final_scale_ppm < PPM_SCALE);
+        assert!(
+            out.final_scale_ppm >= BudgetPolicy::default().min_scale_ppm,
+            "shedding respects the floor"
+        );
+        // Detection still works: pinned contexts bypass the scale.
+        assert!(out.detected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,457 @@
+//! Corruption-tolerant ingestion of TrapReport JSONL streams.
+//!
+//! Fleet workers die mid-write, file systems truncate tails, log
+//! shippers interleave partial lines and re-deliver duplicates. The
+//! ingestor's contract is therefore *skip-and-count, never panic*: every
+//! line either yields a report or increments a corruption counter, and
+//! reports are deduplicated by their content identity (method, time,
+//! object, context signature) so a re-shipped stream cannot inflate the
+//! aggregate.
+//!
+//! A healthy stream ends with the pipeline's terminator record
+//! (`{"csod_stream_end":true,"records":N}`); a stream without one marks
+//! a writer that vanished, and a count mismatch quantifies how many
+//! records the truncation ate.
+
+use crate::priors::FleetPriors;
+use std::collections::HashSet;
+use std::path::Path;
+
+/// Counters the ingestor maintains across every stream it consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Non-blank lines examined.
+    pub lines_seen: u64,
+    /// Unique reports accepted into the aggregate.
+    pub records_ingested: u64,
+    /// Lines rejected as corrupt (truncated, malformed, interleaved).
+    pub records_skipped_corrupt: u64,
+    /// Well-formed reports dropped as duplicates of already-ingested
+    /// ones.
+    pub records_deduped: u64,
+    /// Stream terminator records seen.
+    pub terminators_seen: u64,
+    /// Streams consumed.
+    pub streams_ingested: u64,
+    /// Streams that ended without a terminator — the writer died.
+    pub streams_unterminated: u64,
+    /// Records the terminators claim were written but never parsed —
+    /// lost to truncation or corruption.
+    pub records_lost: u64,
+}
+
+/// What one stream contributed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamSummary {
+    /// Unique new reports per context signature, aggregated over the
+    /// stream (signature, count).
+    pub observations: Vec<(String, u64)>,
+    /// Whether the stream carried a terminator record.
+    pub terminated: bool,
+    /// Well-formed data records parsed (including duplicates).
+    pub parsed: u64,
+    /// Corrupt lines skipped in this stream alone.
+    pub corrupt: u64,
+}
+
+/// A streaming, deduplicating TrapReport JSONL consumer.
+#[derive(Debug, Default)]
+pub struct Ingestor {
+    stats: IngestStats,
+    seen: HashSet<String>,
+}
+
+impl Ingestor {
+    /// A fresh ingestor with empty dedupe state.
+    pub fn new() -> Ingestor {
+        Ingestor::default()
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// Consumes one stream's text, feeding unique reports into
+    /// `priors`. Tolerates any byte garbage; never panics.
+    pub fn ingest_str(&mut self, text: &str, priors: &mut FleetPriors) -> StreamSummary {
+        let mut summary = StreamSummary::default();
+        let mut declared: Option<u64> = None;
+        for line in text.split('\n') {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            self.stats.lines_seen += 1;
+            if let Some(records) = parse_terminator(line) {
+                self.stats.terminators_seen += 1;
+                summary.terminated = true;
+                declared = Some(records);
+                continue;
+            }
+            match parse_report_line(line) {
+                Some(report) => {
+                    summary.parsed += 1;
+                    if self.seen.insert(report.dedupe_key()) {
+                        self.stats.records_ingested += 1;
+                        priors.observe(&report.signature, 1);
+                        match summary
+                            .observations
+                            .iter_mut()
+                            .find(|(sig, _)| *sig == report.signature)
+                        {
+                            Some((_, n)) => *n += 1,
+                            None => summary.observations.push((report.signature, 1)),
+                        }
+                    } else {
+                        self.stats.records_deduped += 1;
+                    }
+                }
+                None => {
+                    self.stats.records_skipped_corrupt += 1;
+                    summary.corrupt += 1;
+                }
+            }
+        }
+        self.stats.streams_ingested += 1;
+        if summary.terminated {
+            if let Some(declared) = declared {
+                self.stats.records_lost += declared.saturating_sub(summary.parsed);
+            }
+        } else {
+            self.stats.streams_unterminated += 1;
+        }
+        summary
+    }
+
+    /// Consumes the stream file at `path`. A missing or unreadable file
+    /// counts as one unterminated empty stream — the worker never got as
+    /// far as opening its sink.
+    pub fn ingest_file(&mut self, path: &Path, priors: &mut FleetPriors) -> StreamSummary {
+        match std::fs::read(path) {
+            Ok(bytes) => {
+                // Invalid UTF-8 from a torn write must not abort the
+                // stream: lossy decoding turns it into lines the parser
+                // will reject one by one.
+                let text = String::from_utf8_lossy(&bytes);
+                self.ingest_str(&text, priors)
+            }
+            Err(_) => {
+                self.stats.streams_ingested += 1;
+                self.stats.streams_unterminated += 1;
+                StreamSummary::default()
+            }
+        }
+    }
+}
+
+/// One parsed report, reduced to the fields aggregation cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ParsedReport {
+    method: String,
+    signature: String,
+    at_ns: u64,
+    object_start: String,
+}
+
+impl ParsedReport {
+    /// The dedupe identity: a re-delivered copy of the same detection
+    /// collapses, while distinct detections of the same context do not.
+    fn dedupe_key(&self) -> String {
+        format!(
+            "{}\u{1f}{}\u{1f}{}\u{1f}{}",
+            self.method, self.at_ns, self.object_start, self.signature
+        )
+    }
+}
+
+/// Recognizes the pipeline's stream-end record and returns its declared
+/// record count.
+fn parse_terminator(line: &str) -> Option<u64> {
+    if !line.starts_with("{\"csod_stream_end\"") || !is_single_object(line) {
+        return None;
+    }
+    extract_u64(line, "records")
+}
+
+/// Parses one TrapReport JSON line; `None` on anything malformed.
+fn parse_report_line(line: &str) -> Option<ParsedReport> {
+    if !is_single_object(line) {
+        return None;
+    }
+    let method = extract_string(line, "method")?;
+    if !matches!(method.as_str(), "watchpoint" | "canary_free" | "canary_exit") {
+        return None;
+    }
+    let frames = extract_string_array(line, "alloc_context")?;
+    if frames.is_empty() {
+        return None;
+    }
+    Some(ParsedReport {
+        method,
+        signature: frames.join("|"),
+        at_ns: extract_u64(line, "at_ns")?,
+        object_start: extract_string(line, "object_start")?,
+    })
+}
+
+/// `true` when `line` is exactly one balanced JSON object — this is
+/// what rejects interleaved partial writes like `{"a":1}{"meth…` or a
+/// tail chopped mid-record.
+fn is_single_object(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    if bytes.first() != Some(&b'{') {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    // Balanced — but only a *single* object qualifies.
+                    return i == bytes.len() - 1;
+                }
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Extracts `"key":"value"` (a JSON string), unescaping it.
+fn extract_string(obj: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = obj.get(start..)?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                '/' => out.push('/'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = chars.by_ref().take(4).collect();
+                    if code.len() != 4 {
+                        return None;
+                    }
+                    let value = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(value)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+/// Extracts `"key":123` (an unsigned JSON number).
+fn extract_u64(obj: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = obj.get(start..)?.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key":["a","b",…]` (an array of JSON strings), unescaped.
+fn extract_string_array(obj: &str, key: &str) -> Option<Vec<String>> {
+    let needle = format!("\"{key}\":[");
+    let start = obj.find(&needle)? + needle.len();
+    let rest = obj.get(start..)?;
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let tail = rest.get(pos..)?.trim_start();
+        pos = rest.len() - tail.len();
+        match tail.chars().next()? {
+            ']' => return Some(out),
+            ',' => {
+                pos += 1;
+                continue;
+            }
+            '"' => {
+                // Reuse the string extractor by scanning to the closing
+                // quote with escape awareness.
+                let body = &tail[1..];
+                let mut escaped = false;
+                let mut end = None;
+                for (i, c) in body.char_indices() {
+                    if escaped {
+                        escaped = false;
+                    } else if c == '\\' {
+                        escaped = true;
+                    } else if c == '"' {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                let end = end?;
+                let fake = format!("\"k\":\"{}\"", &body[..end]);
+                out.push(extract_string(&fake, "k")?);
+                pos += 1 + end + 1;
+            }
+            _ => return None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_line(at_ns: u64, frames: &[&str]) -> String {
+        let ctx: Vec<String> = frames.iter().map(|f| format!("\"{f}\"")).collect();
+        format!(
+            "{{\"method\":\"canary_free\",\"kind\":\"write\",\"thread\":0,\"ctx_id\":3,\
+             \"object_start\":\"0x1000\",\"access_addr\":\"0x1040\",\"requested_size\":64,\
+             \"offset_past_end\":0,\"object_age_ns\":12,\"at_ns\":{at_ns},\
+             \"alloc_context\":[{}],\"overflow_site\":[]}}",
+            ctx.join(",")
+        )
+    }
+
+    #[test]
+    fn well_formed_stream_is_fully_ingested() {
+        let mut text = String::new();
+        text.push_str(&sample_line(1, &["a.c:1", "main.c:1"]));
+        text.push('\n');
+        text.push_str(&sample_line(2, &["b.c:2", "main.c:1"]));
+        text.push('\n');
+        text.push_str("{\"csod_stream_end\":true,\"records\":2}\n");
+        let mut ing = Ingestor::new();
+        let mut priors = FleetPriors::new();
+        let s = ing.ingest_str(&text, &mut priors);
+        assert!(s.terminated);
+        assert_eq!(s.parsed, 2);
+        assert_eq!(s.corrupt, 0);
+        assert_eq!(priors.len(), 2);
+        assert!(priors.contains("a.c:1|main.c:1"));
+        let stats = ing.stats();
+        assert_eq!(stats.records_ingested, 2);
+        assert_eq!(stats.records_lost, 0);
+        assert_eq!(stats.streams_unterminated, 0);
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped_and_counted_never_panicking() {
+        let good = sample_line(5, &["x.c:9", "main.c:1"]);
+        let cases = [
+            "not json at all",
+            "{\"method\":\"canary_free\"",            // truncated tail
+            "{}{}",                                    // interleaved objects
+            &format!("{good}{good}"),                  // interleaved reports
+            "{\"method\":\"bogus\",\"at_ns\":1,\"object_start\":\"0x1\",\"alloc_context\":[\"a\"]}",
+            "{\"method\":\"canary_free\",\"at_ns\":1,\"object_start\":\"0x1\",\"alloc_context\":[]}",
+            "{\"at_ns\":1}",
+            "\u{0}\u{1}garbage\u{2}",
+            "[1,2,3]",
+        ];
+        let mut text = String::new();
+        for c in &cases {
+            text.push_str(c);
+            text.push('\n');
+        }
+        text.push_str(&good);
+        text.push('\n');
+        let mut ing = Ingestor::new();
+        let mut priors = FleetPriors::new();
+        let s = ing.ingest_str(&text, &mut priors);
+        assert_eq!(s.corrupt, cases.len() as u64);
+        assert_eq!(s.parsed, 1);
+        assert_eq!(priors.len(), 1);
+        assert!(!s.terminated);
+        assert_eq!(ing.stats().streams_unterminated, 1);
+    }
+
+    #[test]
+    fn duplicates_dedupe_by_content_identity() {
+        let line = sample_line(7, &["d.c:4", "main.c:1"]);
+        let text = format!("{line}\n{line}\n{}\n", sample_line(8, &["d.c:4", "main.c:1"]));
+        let mut ing = Ingestor::new();
+        let mut priors = FleetPriors::new();
+        let s = ing.ingest_str(&text, &mut priors);
+        assert_eq!(s.parsed, 3);
+        assert_eq!(ing.stats().records_deduped, 1, "exact copy collapsed");
+        assert_eq!(
+            priors.count("d.c:4|main.c:1"),
+            2,
+            "distinct detections of the same context both count"
+        );
+        // Re-shipping the whole stream adds nothing.
+        let mut priors2 = priors.clone();
+        ing.ingest_str(&text, &mut priors2);
+        assert_eq!(priors2, priors);
+    }
+
+    #[test]
+    fn truncated_terminator_count_reveals_lost_records() {
+        let mut text = String::new();
+        text.push_str(&sample_line(1, &["a.c:1"]));
+        text.push('\n');
+        text.push_str("{\"csod_stream_end\":true,\"records\":4}\n");
+        let mut ing = Ingestor::new();
+        let mut priors = FleetPriors::new();
+        let s = ing.ingest_str(&text, &mut priors);
+        assert!(s.terminated);
+        assert_eq!(ing.stats().records_lost, 3);
+    }
+
+    #[test]
+    fn escaped_frames_round_trip() {
+        let line = sample_line(3, &["weird\\\"file.c:1", "main.c:1"]);
+        let mut ing = Ingestor::new();
+        let mut priors = FleetPriors::new();
+        ing.ingest_str(&line, &mut priors);
+        assert!(priors.contains("weird\"file.c:1|main.c:1"));
+    }
+
+    #[test]
+    fn missing_file_counts_as_vanished_writer() {
+        let mut ing = Ingestor::new();
+        let mut priors = FleetPriors::new();
+        let s = ing.ingest_file(Path::new("/definitely/not/here.jsonl"), &mut priors);
+        assert_eq!(s, StreamSummary::default());
+        assert_eq!(ing.stats().streams_unterminated, 1);
+    }
+
+    #[test]
+    fn single_object_scanner_rejects_partials() {
+        assert!(is_single_object("{\"a\":1}"));
+        assert!(is_single_object("{\"a\":{\"b\":\"}\"}}"));
+        assert!(!is_single_object("{\"a\":1}{"));
+        assert!(!is_single_object("{\"a\":1"));
+        assert!(!is_single_object("\"a\":1}"));
+        assert!(!is_single_object("{\"a\":\"unterminated}"));
+        assert!(!is_single_object(""));
+    }
+}

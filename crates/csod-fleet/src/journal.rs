@@ -1,0 +1,579 @@
+//! The durable cross-run priors store: a CRC-framed write-ahead journal
+//! with atomic-rename checkpoints.
+//!
+//! # On-disk layout (inside the store directory)
+//!
+//! * `priors.ckpt` — the current checkpoint: a full snapshot of the
+//!   aggregate, CRC-framed line by line, carrying an epoch number and an
+//!   `end` frame so truncation is detectable.
+//! * `priors.ckpt.prev` — the previous checkpoint, kept as the fallback
+//!   when the current one is unreadable.
+//! * `priors.ckpt.tmp` — the in-flight checkpoint; becomes `priors.ckpt`
+//!   via atomic rename, so readers only ever see a complete file (a
+//!   *valid* orphaned tmp is adopted on recovery: it means the crash
+//!   landed between the write and the rename).
+//! * `wal-<epoch>.log` — appended observations since the checkpoint of
+//!   that epoch. Replayed on top of the checkpoint at recovery; replay
+//!   stops at the first frame whose CRC or length fails, which is how a
+//!   `kill -9` at any byte offset still yields a consistent snapshot.
+//!
+//! # Frame format
+//!
+//! Every journal line is `J1 <crc32:08x> <len:06x> <payload>` where the
+//! CRC and length cover the payload bytes. WAL payloads are
+//! `+<count:x>\t<signature>`; checkpoint payloads are the header
+//! `ckpt <epoch:x> <entries:x>`, one `<count:x>\t<signature>` per
+//! context, and the footer `end <entries:x>`.
+//!
+//! # Fault handling
+//!
+//! All file I/O goes through a [`JournalMedia`], so tests inject
+//! `EINTR`, short writes and `ENOSPC`. Interrupted calls are retried a
+//! bounded number of times; short writes are continued; a full disk
+//! degrades the store to buffering observations in memory — nothing
+//! already durable is ever lost, and the next successful checkpoint
+//! folds the buffered tail back in.
+
+use crate::crc::crc32;
+use crate::priors::FleetPriors;
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Bounded retries for interrupted or short media operations before the
+/// store gives up on an append and degrades.
+pub const MAX_IO_RETRIES: u32 = 8;
+
+/// The file I/O surface the store uses, pluggable so fault-tolerance
+/// tests can script `EINTR`, short writes and `ENOSPC`.
+pub trait JournalMedia: Debug + Send {
+    /// Appends `bytes` to the file at `path`, creating it if missing.
+    /// May write fewer bytes than asked (a short write); returns how
+    /// many were written.
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<usize>;
+
+    /// Writes `bytes` as the complete content of `path` (truncating).
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to`.
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Reads the whole file at `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Removes the file at `path`.
+    fn remove(&mut self, path: &Path) -> io::Result<()>;
+
+    /// Durably syncs the file at `path`; best-effort.
+    fn sync(&mut self, path: &Path) -> io::Result<()>;
+}
+
+/// The real-filesystem media.
+#[derive(Debug, Default)]
+pub struct FsMedia;
+
+impl JournalMedia for FsMedia {
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        file.write_all(bytes)?;
+        Ok(bytes.len())
+    }
+
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync(&mut self, path: &Path) -> io::Result<()> {
+        OpenOptions::new().read(true).open(path)?.sync_all()
+    }
+}
+
+/// Observable health of the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Checkpoints successfully written by this process.
+    pub journal_checkpoints: u64,
+    /// WAL records appended durably by this process.
+    pub wal_records_appended: u64,
+    /// WAL records replayed at recovery.
+    pub wal_records_recovered: u64,
+    /// Trailing WAL bytes rejected at recovery (truncation/corruption).
+    pub wal_tail_rejected: u64,
+    /// Recoveries that had to fall back past an unreadable current
+    /// checkpoint (to the orphaned tmp or the previous checkpoint).
+    pub checkpoint_fallbacks: u64,
+    /// Media calls retried after `EINTR`.
+    pub io_retries: u64,
+    /// Short writes continued.
+    pub short_writes: u64,
+    /// Observations buffered in memory because the WAL is unusable
+    /// (e.g. `ENOSPC`); durable again after the next checkpoint.
+    pub buffered_observations: u64,
+}
+
+/// The durable priors store.
+#[derive(Debug)]
+pub struct PriorsStore {
+    dir: PathBuf,
+    media: Box<dyn JournalMedia>,
+    priors: FleetPriors,
+    epoch: u64,
+    degraded: bool,
+    stats: StoreStats,
+}
+
+impl PriorsStore {
+    /// Opens (and if necessary recovers) the store in `dir` on the real
+    /// filesystem, creating the directory when missing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures; recovery itself absorbs
+    /// corruption rather than failing.
+    pub fn open(dir: &Path) -> io::Result<PriorsStore> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self::open_with_media(dir, Box::new(FsMedia)))
+    }
+
+    /// Opens the store with a custom [`JournalMedia`] (fault-injection
+    /// tests). The directory must already exist for real media.
+    pub fn open_with_media(dir: &Path, media: Box<dyn JournalMedia>) -> PriorsStore {
+        let mut store = PriorsStore {
+            dir: dir.to_owned(),
+            media,
+            priors: FleetPriors::new(),
+            epoch: 0,
+            degraded: false,
+            stats: StoreStats::default(),
+        };
+        store.recover();
+        store
+    }
+
+    /// The recovered / live aggregate.
+    pub fn priors(&self) -> &FleetPriors {
+        &self.priors
+    }
+
+    /// Health counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Current checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// `true` while observations are only buffered in memory because
+    /// the WAL is unusable.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Records `count` unique reports for `signature`: updates the
+    /// in-memory aggregate and appends a WAL frame. WAL failures never
+    /// lose the observation — it stays buffered until a checkpoint
+    /// succeeds.
+    pub fn observe(&mut self, signature: &str, count: u64) {
+        let sig = signature.trim();
+        if sig.is_empty() {
+            return;
+        }
+        self.priors.observe(sig, count);
+        if self.degraded {
+            self.stats.buffered_observations += 1;
+            return;
+        }
+        let frame = frame(&format!("+{count:x}\t{sig}"));
+        let wal = wal_path(&self.dir, self.epoch);
+        match self.append_fully(&wal, frame.as_bytes()) {
+            Ok(()) => self.stats.wal_records_appended += 1,
+            Err(_) => {
+                // ENOSPC or a persistently failing disk: degrade to
+                // in-memory buffering; the aggregate already holds the
+                // observation and the next checkpoint makes it durable.
+                self.degraded = true;
+                self.stats.buffered_observations += 1;
+            }
+        }
+    }
+
+    /// Writes a full snapshot as the new checkpoint (atomic rename),
+    /// starts a fresh WAL epoch, and clears any degraded buffering.
+    ///
+    /// # Errors
+    ///
+    /// On failure the previous checkpoint and WAL remain authoritative —
+    /// the caller can retry; nothing durable was touched.
+    pub fn checkpoint(&mut self) -> io::Result<()> {
+        let next_epoch = self.epoch + 1;
+        let body = render_checkpoint(next_epoch, &self.priors);
+        let tmp = self.dir.join("priors.ckpt.tmp");
+        let ckpt = self.dir.join("priors.ckpt");
+        let prev = self.dir.join("priors.ckpt.prev");
+
+        self.with_retries(|media| media.write_file(&tmp, body.as_bytes()))?;
+        let _ = self.with_retries(|media| media.sync(&tmp));
+        // Keep the old checkpoint as the fallback generation. A missing
+        // current checkpoint (first ever run) is fine.
+        let had_current = self.media.read(&ckpt).is_ok();
+        if had_current {
+            self.with_retries(|media| media.rename(&ckpt, &prev))?;
+        }
+        self.with_retries(|media| media.rename(&tmp, &ckpt))?;
+
+        // The new epoch starts with an empty WAL; the old epoch's WAL is
+        // superseded and removed (best-effort — recovery ignores stale
+        // epochs anyway).
+        let old_wal = wal_path(&self.dir, self.epoch);
+        let _ = self.media.remove(&old_wal);
+        self.epoch = next_epoch;
+        self.degraded = false;
+        self.stats.buffered_observations = 0;
+        self.stats.journal_checkpoints += 1;
+        Ok(())
+    }
+
+    // ----- recovery -------------------------------------------------------------------
+
+    fn recover(&mut self) {
+        let ckpt = self.dir.join("priors.ckpt");
+        let tmp = self.dir.join("priors.ckpt.tmp");
+        let prev = self.dir.join("priors.ckpt.prev");
+        let current_exists = self.media.read(&ckpt).is_ok();
+        let mut adopted: Option<(u64, BTreeMap<String, u64>)> = None;
+        for (i, candidate) in [&ckpt, &tmp, &prev].into_iter().enumerate() {
+            if let Ok(bytes) = self.media.read(candidate) {
+                if let Some(parsed) = parse_checkpoint(&bytes) {
+                    if i > 0 && current_exists {
+                        // The current checkpoint existed but failed to
+                        // parse: a genuine fallback, not a fresh store.
+                        self.stats.checkpoint_fallbacks += 1;
+                    }
+                    adopted = Some(parsed);
+                    break;
+                }
+            }
+        }
+        let (epoch, entries) = adopted.unwrap_or((0, BTreeMap::new()));
+        self.epoch = epoch;
+        for (sig, count) in entries {
+            self.priors.observe(&sig, count);
+        }
+        // Replay the adopted epoch's WAL up to the first bad frame.
+        if let Ok(bytes) = self.media.read(&wal_path(&self.dir, epoch)) {
+            let (payloads, rejected) = parse_frames(&bytes);
+            for payload in payloads {
+                if let Some((count, sig)) = parse_wal_payload(&payload) {
+                    self.priors.observe(&sig, count);
+                    self.stats.wal_records_recovered += 1;
+                } else {
+                    self.stats.wal_tail_rejected += 1;
+                }
+            }
+            self.stats.wal_tail_rejected += rejected;
+        }
+    }
+
+    // ----- media plumbing -------------------------------------------------------------
+
+    /// Appends all of `bytes`, continuing short writes and retrying
+    /// `EINTR` a bounded number of times.
+    fn append_fully(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut written = 0usize;
+        let mut attempts = 0u32;
+        while written < bytes.len() {
+            match self.media.append(path, &bytes[written..]) {
+                Ok(0) => {
+                    attempts += 1;
+                    if attempts > MAX_IO_RETRIES {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "media refuses to make progress",
+                        ));
+                    }
+                }
+                Ok(n) => {
+                    if written + n < bytes.len() {
+                        self.stats.short_writes += 1;
+                        attempts += 1;
+                        if attempts > MAX_IO_RETRIES {
+                            return Err(io::Error::new(
+                                io::ErrorKind::WriteZero,
+                                "short-write retry budget exhausted",
+                            ));
+                        }
+                    }
+                    written += n;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.stats.io_retries += 1;
+                    attempts += 1;
+                    if attempts > MAX_IO_RETRIES {
+                        return Err(e);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Retries an interruptible media call a bounded number of times.
+    fn with_retries<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Box<dyn JournalMedia>) -> io::Result<T>,
+    ) -> io::Result<T> {
+        let mut attempts = 0u32;
+        loop {
+            match op(&mut self.media) {
+                Err(e) if e.kind() == io::ErrorKind::Interrupted && attempts < MAX_IO_RETRIES => {
+                    self.stats.io_retries += 1;
+                    attempts += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+/// The WAL file for `epoch` inside `dir`.
+pub fn wal_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{epoch:x}.log"))
+}
+
+/// Frames one payload line: `J1 <crc:08x> <len:06x> <payload>\n`.
+fn frame(payload: &str) -> String {
+    format!(
+        "J1 {:08x} {:06x} {payload}\n",
+        crc32(payload.as_bytes()),
+        payload.len()
+    )
+}
+
+/// Parses framed lines from raw bytes. Returns the payloads of every
+/// valid frame up to the first invalid one, plus how many subsequent
+/// lines (including the invalid one) were rejected.
+fn parse_frames(bytes: &[u8]) -> (Vec<String>, u64) {
+    let text = String::from_utf8_lossy(bytes);
+    let mut payloads = Vec::new();
+    let mut lines = text.split('\n').peekable();
+    let mut rejected = 0u64;
+    while let Some(line) = lines.next() {
+        if line.is_empty() && lines.peek().is_none() {
+            break; // clean trailing newline
+        }
+        match parse_frame(line) {
+            Some(payload) => payloads.push(payload),
+            None => {
+                // First bad frame: everything from here on is suspect.
+                rejected = 1 + lines.filter(|l| !l.is_empty()).count() as u64;
+                break;
+            }
+        }
+    }
+    (payloads, rejected)
+}
+
+/// Parses one `J1 <crc> <len> <payload>` line.
+fn parse_frame(line: &str) -> Option<String> {
+    let rest = line.strip_prefix("J1 ")?;
+    let crc_hex = rest.get(..8)?;
+    let rest = rest.get(8..)?.strip_prefix(' ')?;
+    let len_hex = rest.get(..6)?;
+    let payload = rest.get(6..)?.strip_prefix(' ')?;
+    let crc = u32::from_str_radix(crc_hex, 16).ok()?;
+    let len = usize::from_str_radix(len_hex, 16).ok()?;
+    if payload.len() != len || crc32(payload.as_bytes()) != crc {
+        return None;
+    }
+    Some(payload.to_owned())
+}
+
+/// Renders a full checkpoint body for `epoch`.
+fn render_checkpoint(epoch: u64, priors: &FleetPriors) -> String {
+    let mut out = String::new();
+    out.push_str(&frame(&format!("ckpt {epoch:x} {:x}", priors.len())));
+    for (sig, count) in priors.iter() {
+        out.push_str(&frame(&format!("{count:x}\t{sig}")));
+    }
+    out.push_str(&frame(&format!("end {:x}", priors.len())));
+    out
+}
+
+/// Parses a checkpoint body; `None` unless every frame is valid, the
+/// header and footer agree, and the entry count matches.
+fn parse_checkpoint(bytes: &[u8]) -> Option<(u64, BTreeMap<String, u64>)> {
+    let (payloads, rejected) = parse_frames(bytes);
+    if rejected > 0 || payloads.len() < 2 {
+        return None;
+    }
+    let header = payloads.first()?;
+    let mut head = header.strip_prefix("ckpt ")?.split(' ');
+    let epoch = u64::from_str_radix(head.next()?, 16).ok()?;
+    let declared = usize::from_str_radix(head.next()?, 16).ok()?;
+    let footer = payloads.last()?;
+    let foot_count = usize::from_str_radix(footer.strip_prefix("end ")?, 16).ok()?;
+    let body = &payloads[1..payloads.len() - 1];
+    if declared != foot_count || body.len() != declared {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    for line in body {
+        let (count_hex, sig) = line.split_once('\t')?;
+        let count = u64::from_str_radix(count_hex, 16).ok()?;
+        entries.insert(sig.to_owned(), count);
+    }
+    Some((epoch, entries))
+}
+
+/// Parses a WAL payload `+<count:x>\t<sig>`.
+fn parse_wal_payload(payload: &str) -> Option<(u64, String)> {
+    let rest = payload.strip_prefix('+')?;
+    let (count_hex, sig) = rest.split_once('\t')?;
+    let count = u64::from_str_radix(count_hex, 16).ok()?;
+    if sig.is_empty() {
+        return None;
+    }
+    Some((count, sig.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("csod-fleet-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn observations_survive_reopen_via_wal() {
+        let dir = tmpdir("wal");
+        {
+            let mut store = PriorsStore::open(&dir).unwrap();
+            store.observe("a.c:1|main.c:1", 1);
+            store.observe("b.c:2|main.c:1", 2);
+            assert_eq!(store.stats().wal_records_appended, 2);
+            // No checkpoint: the WAL alone must carry them.
+        }
+        let store = PriorsStore::open(&dir).unwrap();
+        assert_eq!(store.priors().count("a.c:1|main.c:1"), 1);
+        assert_eq!(store.priors().count("b.c:2|main.c:1"), 2);
+        assert_eq!(store.stats().wal_records_recovered, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_supersedes_the_wal_and_rolls_the_epoch() {
+        let dir = tmpdir("ckpt");
+        {
+            let mut store = PriorsStore::open(&dir).unwrap();
+            store.observe("x.c:1", 3);
+            store.checkpoint().unwrap();
+            assert_eq!(store.epoch(), 1);
+            store.observe("y.c:2", 1);
+        }
+        let store = PriorsStore::open(&dir).unwrap();
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.priors().count("x.c:1"), 3, "from the checkpoint");
+        assert_eq!(store.priors().count("y.c:2"), 1, "from the epoch-1 WAL");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wal_truncation_at_any_offset_recovers_consistently() {
+        let dir = tmpdir("trunc");
+        {
+            let mut store = PriorsStore::open(&dir).unwrap();
+            store.observe("keep.c:1", 1);
+            store.checkpoint().unwrap();
+            for i in 0..10 {
+                store.observe(&format!("tail.c:{i}"), 1);
+            }
+        }
+        let wal = wal_path(&dir, 1);
+        let full = std::fs::read(&wal).unwrap();
+        for cut in 0..=full.len() {
+            std::fs::write(&wal, &full[..cut]).unwrap();
+            let store = PriorsStore::open(&dir).unwrap();
+            // The checkpointed context always survives; the replayed
+            // tail is a prefix of what was appended.
+            assert_eq!(store.priors().count("keep.c:1"), 1, "cut at {cut}");
+            let replayed = store.stats().wal_records_recovered;
+            assert!(replayed <= 10);
+            for i in 0..replayed {
+                assert!(store.priors().contains(&format!("tail.c:{i}")));
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_current_checkpoint_falls_back_to_prev() {
+        let dir = tmpdir("fallback");
+        {
+            let mut store = PriorsStore::open(&dir).unwrap();
+            store.observe("old.c:1", 1);
+            store.checkpoint().unwrap();
+            store.observe("new.c:2", 1);
+            store.checkpoint().unwrap();
+        }
+        // Smash the current checkpoint; prev still holds epoch 1.
+        let ckpt = dir.join("priors.ckpt");
+        std::fs::write(&ckpt, b"J1 deadbeef 000004 ruin").unwrap();
+        let store = PriorsStore::open(&dir).unwrap();
+        assert_eq!(store.stats().checkpoint_fallbacks, 1);
+        assert!(store.priors().contains("old.c:1"), "prev checkpoint adopted");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphaned_valid_tmp_checkpoint_is_adopted() {
+        let dir = tmpdir("tmp-adopt");
+        let mut priors = FleetPriors::new();
+        priors.observe("tmp.c:9", 4);
+        std::fs::write(dir.join("priors.ckpt.tmp"), render_checkpoint(5, &priors)).unwrap();
+        let store = PriorsStore::open(&dir).unwrap();
+        assert_eq!(store.epoch(), 5);
+        assert_eq!(store.priors().count("tmp.c:9"), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_opens_empty() {
+        let dir = tmpdir("empty");
+        let store = PriorsStore::open(&dir).unwrap();
+        assert!(store.priors().is_empty());
+        assert_eq!(store.epoch(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn frames_reject_bitflips() {
+        let line = frame("+1\tsig.c:1|main.c:1");
+        let line = line.trim_end();
+        assert!(parse_frame(line).is_some());
+        let flipped = line.replace("sig.c:1", "sig.c:2");
+        assert!(parse_frame(&flipped).is_none(), "CRC catches the flip");
+        assert!(parse_frame("J1 zz").is_none());
+        assert!(parse_frame("").is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! Crash-safe fleet aggregation for CSOD.
+//!
+//! The paper's deployment model (§V-A2) runs the detector across a
+//! fleet of production processes and promises that a context confirmed
+//! to overflow is watched with probability 1.0 on its next execution.
+//! This crate closes that detect → persist → reseed loop and makes it
+//! survive the failures a real fleet produces:
+//!
+//! - [`ingest`] — a corruption-tolerant consumer of the TrapReport
+//!   JSONL streams workers emit: truncated tails, malformed lines,
+//!   interleaved partial writes and duplicates are skipped and counted,
+//!   never panicked on; reports dedupe by context signature.
+//! - [`journal`] — the durable priors store: a CRC-framed write-ahead
+//!   journal plus atomic-rename checkpoints. A `kill -9` at any byte
+//!   offset recovers to a consistent snapshot.
+//! - [`priors`] — the in-memory aggregate and its bridges back into
+//!   the runtime: evidence files that pin confirmed contexts, and
+//!   [`AnalysisPriors`](csod_core::AnalysisPriors) seeding.
+//! - [`supervisor`] — bounded exponential-backoff restarts, health
+//!   probes, poison-worker quarantine, graceful drain.
+//! - [`budget`] — the global sampling-budget coordinator that sheds
+//!   per-process sampling smoothly when the fleet's report volume
+//!   exceeds aggregation capacity.
+//! - [`fleet`] — the controller wiring it all to the chaos-soak
+//!   workload driver.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(clippy::perf)]
+
+pub mod budget;
+pub mod crc;
+pub mod fleet;
+pub mod ingest;
+pub mod journal;
+pub mod priors;
+pub mod supervisor;
+
+pub use budget::{BudgetCoordinator, BudgetPolicy};
+pub use crc::crc32;
+pub use fleet::{FleetConfig, FleetController, FleetOutcome};
+pub use ingest::{IngestStats, Ingestor, StreamSummary};
+pub use journal::{wal_path, FsMedia, JournalMedia, PriorsStore, StoreStats, MAX_IO_RETRIES};
+pub use priors::FleetPriors;
+pub use supervisor::{Supervisor, SupervisorPolicy, WorkerHealth, WorkerState};

@@ -1,0 +1,167 @@
+//! Fleet-wide aggregated overflow evidence, keyed by context signature.
+//!
+//! Workers report overflows as [`TrapReport`](csod_core::TrapReport)
+//! JSONL records; what survives aggregation is the allocation calling
+//! context's *signature* — the frames joined by `|`, innermost first,
+//! exactly the [`EvidenceStore`](csod_core::EvidenceStore) on-disk
+//! format — plus a confirmation count. Signatures are the only portable
+//! identity across processes: a [`ContextKey`](csod_ctx::ContextKey)
+//! bakes in a process-local frame id and cannot be reconstructed from a
+//! string, so re-seeding works by matching signatures against the sites
+//! a new process registers, or by handing the whole set to the evidence
+//! path which pins matching contexts at 100 %.
+
+use csod_core::{AnalysisPriors, EvidenceStore, RiskClass};
+use csod_ctx::{CallingContext, ContextKey, FrameTable};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Aggregated overflow evidence for a fleet: confirmed context
+/// signatures and how many unique reports confirmed each.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FleetPriors {
+    contexts: BTreeMap<String, u64>,
+}
+
+impl FleetPriors {
+    /// An empty aggregate.
+    pub fn new() -> FleetPriors {
+        FleetPriors::default()
+    }
+
+    /// Records `count` more unique reports for `signature`. Returns
+    /// `true` when the signature was new to the aggregate.
+    pub fn observe(&mut self, signature: &str, count: u64) -> bool {
+        let sig = signature.trim();
+        if sig.is_empty() {
+            return false;
+        }
+        let entry = self.contexts.entry(sig.to_owned()).or_insert(0);
+        let was_new = *entry == 0;
+        *entry += count.max(1);
+        was_new
+    }
+
+    /// Number of unique reports recorded for `signature` (0 if unseen).
+    pub fn count(&self, signature: &str) -> u64 {
+        self.contexts.get(signature).copied().unwrap_or(0)
+    }
+
+    /// Whether `signature` has any confirmation.
+    pub fn contains(&self, signature: &str) -> bool {
+        self.contexts.contains_key(signature)
+    }
+
+    /// Confirmed signatures in sorted order, with their counts.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.contexts.iter().map(|(s, &c)| (s.as_str(), c))
+    }
+
+    /// Number of confirmed contexts.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// `true` when nothing was confirmed yet.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+
+    /// Merges another aggregate into this one (counts add).
+    pub fn merge(&mut self, other: &FleetPriors) {
+        for (sig, count) in &other.contexts {
+            *self.contexts.entry(sig.clone()).or_insert(0) += count;
+        }
+    }
+
+    /// The aggregate as an [`EvidenceStore`]: the seed each new process
+    /// loads through `CsodConfig::evidence_path`, pinning any matching
+    /// context at 100 % from its first allocation — the §V-A2
+    /// second-execution guarantee.
+    pub fn to_evidence_store(&self) -> EvidenceStore {
+        let mut store = EvidenceStore::new();
+        for sig in self.contexts.keys() {
+            store.insert_signature(sig);
+        }
+        store
+    }
+
+    /// Writes the aggregate as an evidence file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from creating or writing the file.
+    pub fn write_evidence_file(&self, path: &Path) -> io::Result<()> {
+        self.to_evidence_store().save(path)
+    }
+
+    /// Builds [`AnalysisPriors`] for a new process: every site whose
+    /// full context signature is confirmed here is classed
+    /// [`RiskClass::Suspicious`], so the sampler starts it boosted even
+    /// before the evidence path pins it outright.
+    pub fn analysis_priors<'a>(
+        &self,
+        sites: impl IntoIterator<Item = (ContextKey, &'a CallingContext)>,
+        frames: &FrameTable,
+    ) -> AnalysisPriors {
+        AnalysisPriors::from_classes(sites.into_iter().filter_map(|(key, ctx)| {
+            let sig = EvidenceStore::signature(ctx, frames);
+            self.contains(&sig).then_some((key, RiskClass::Suspicious))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_counts_and_dedupes_identity() {
+        let mut p = FleetPriors::new();
+        assert!(p.observe("a.c:1|main.c:1", 1));
+        assert!(!p.observe("a.c:1|main.c:1", 2), "second sighting not new");
+        assert!(!p.observe("", 1), "blank signatures are ignored");
+        assert_eq!(p.count("a.c:1|main.c:1"), 3);
+        assert_eq!(p.len(), 1);
+        assert!(p.contains("a.c:1|main.c:1"));
+        assert!(!p.contains("b.c:2"));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = FleetPriors::new();
+        a.observe("x", 2);
+        let mut b = FleetPriors::new();
+        b.observe("x", 1);
+        b.observe("y", 1);
+        a.merge(&b);
+        assert_eq!(a.count("x"), 3);
+        assert_eq!(a.count("y"), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn evidence_round_trip_reaches_a_new_runtime() {
+        let frames = FrameTable::new();
+        let ctx = CallingContext::from_locations(&frames, ["mem.c:312", "main.c:1"]);
+        let mut p = FleetPriors::new();
+        p.observe(&EvidenceStore::signature(&ctx, &frames), 1);
+        let store = p.to_evidence_store();
+        assert!(store.contains(&ctx, &frames));
+    }
+
+    #[test]
+    fn analysis_priors_match_by_signature() {
+        let frames = FrameTable::new();
+        let hot = CallingContext::from_locations(&frames, ["hot.c:1", "main.c:1"]);
+        let cold = CallingContext::from_locations(&frames, ["cold.c:2", "main.c:1"]);
+        let hot_key = ContextKey::new(frames.intern("hot.c:1"), 0x40);
+        let cold_key = ContextKey::new(frames.intern("cold.c:2"), 0x40);
+        let mut p = FleetPriors::new();
+        p.observe(&EvidenceStore::signature(&hot, &frames), 1);
+        let priors = p.analysis_priors([(hot_key, &hot), (cold_key, &cold)], &frames);
+        assert_eq!(priors.class_of(hot_key), Some(RiskClass::Suspicious));
+        assert_eq!(priors.class_of(cold_key), None);
+    }
+}

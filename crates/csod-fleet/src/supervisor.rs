@@ -1,0 +1,280 @@
+//! Deterministic supervision of fleet workers.
+//!
+//! The fleet runs in generations; supervision is therefore counted in
+//! generations rather than wall-clock seconds, which keeps every
+//! decision reproducible from the run's configuration alone. A worker
+//! that crashes backs off exponentially (skipping 1, 2, 4… generations,
+//! bounded), a worker that keeps crashing is quarantined — isolated for
+//! good, its streams no longer trusted — and a graceful drain stops
+//! scheduling new work while the already-collected streams are still
+//! ingested.
+//!
+//! Health probing is part of the same state machine: a worker whose
+//! stream comes back without the pipeline's terminator record did not
+//! finish its run, and that counts against it exactly like a crash.
+
+/// Supervision knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorPolicy {
+    /// Consecutive failures after which a worker is quarantined.
+    pub max_consecutive_failures: u32,
+    /// Generations skipped after the first failure (doubles per
+    /// consecutive failure).
+    pub base_backoff: u64,
+    /// Upper bound on the backoff, in generations.
+    pub max_backoff: u64,
+}
+
+impl Default for SupervisorPolicy {
+    fn default() -> Self {
+        SupervisorPolicy {
+            max_consecutive_failures: 3,
+            base_backoff: 1,
+            max_backoff: 8,
+        }
+    }
+}
+
+/// Where a worker stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// Runs every generation.
+    Healthy,
+    /// Sits out until the named generation (exclusive).
+    BackingOff {
+        /// First generation the worker may run again.
+        until_generation: u64,
+    },
+    /// Permanently isolated; never scheduled again.
+    Quarantined,
+}
+
+/// Per-worker supervision state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerState {
+    /// Current health.
+    pub health: WorkerHealth,
+    /// Consecutive failures (crashes or failed probes).
+    pub consecutive_failures: u32,
+    /// Total crashes observed.
+    pub crashes: u64,
+    /// Total failed health probes (unterminated streams).
+    pub probe_failures: u64,
+    /// Generations this worker actually ran.
+    pub runs: u64,
+    /// Times the worker came back from a backoff.
+    pub restarts: u64,
+}
+
+impl WorkerState {
+    fn new() -> WorkerState {
+        WorkerState {
+            health: WorkerHealth::Healthy,
+            consecutive_failures: 0,
+            crashes: 0,
+            probe_failures: 0,
+            runs: 0,
+            restarts: 0,
+        }
+    }
+}
+
+/// The fleet supervisor.
+#[derive(Debug)]
+pub struct Supervisor {
+    policy: SupervisorPolicy,
+    workers: Vec<WorkerState>,
+    draining: bool,
+}
+
+impl Supervisor {
+    /// A supervisor over `workers` healthy workers.
+    pub fn new(policy: SupervisorPolicy, workers: usize) -> Supervisor {
+        Supervisor {
+            policy,
+            workers: vec![WorkerState::new(); workers],
+            draining: false,
+        }
+    }
+
+    /// Per-worker state snapshots.
+    pub fn workers(&self) -> &[WorkerState] {
+        &self.workers
+    }
+
+    /// Whether `worker` should be scheduled for `generation`.
+    pub fn should_run(&self, worker: usize, generation: u64) -> bool {
+        if self.draining {
+            return false;
+        }
+        match self.workers[worker].health {
+            WorkerHealth::Healthy => true,
+            WorkerHealth::BackingOff { until_generation } => generation >= until_generation,
+            WorkerHealth::Quarantined => false,
+        }
+    }
+
+    /// Marks `worker` as actually running this generation; a worker
+    /// returning from backoff counts a restart.
+    pub fn begin_run(&mut self, worker: usize) {
+        let w = &mut self.workers[worker];
+        if matches!(w.health, WorkerHealth::BackingOff { .. }) {
+            w.restarts += 1;
+            w.health = WorkerHealth::Healthy;
+        }
+        w.runs += 1;
+    }
+
+    /// A clean run: the failure streak resets.
+    pub fn record_success(&mut self, worker: usize) {
+        let w = &mut self.workers[worker];
+        w.consecutive_failures = 0;
+        if !matches!(w.health, WorkerHealth::Quarantined) {
+            w.health = WorkerHealth::Healthy;
+        }
+    }
+
+    /// A crash during `generation`. Returns the resulting health.
+    pub fn record_crash(&mut self, worker: usize, generation: u64) -> WorkerHealth {
+        self.workers[worker].crashes += 1;
+        self.escalate(worker, generation)
+    }
+
+    /// A failed health probe (the worker's stream never terminated):
+    /// escalates exactly like a crash.
+    pub fn record_probe_failure(&mut self, worker: usize, generation: u64) -> WorkerHealth {
+        self.workers[worker].probe_failures += 1;
+        self.escalate(worker, generation)
+    }
+
+    fn escalate(&mut self, worker: usize, generation: u64) -> WorkerHealth {
+        let policy = self.policy;
+        let w = &mut self.workers[worker];
+        w.consecutive_failures += 1;
+        w.health = if w.consecutive_failures >= policy.max_consecutive_failures {
+            WorkerHealth::Quarantined
+        } else {
+            let exp = w.consecutive_failures.saturating_sub(1).min(63);
+            let skip = policy
+                .base_backoff
+                .saturating_mul(1u64 << exp)
+                .min(policy.max_backoff)
+                .max(1);
+            WorkerHealth::BackingOff {
+                until_generation: generation + 1 + skip,
+            }
+        };
+        w.health
+    }
+
+    /// Begins a graceful drain: no worker is scheduled from now on.
+    /// Returns how many workers were still schedulable.
+    pub fn drain(&mut self) -> usize {
+        let alive = self
+            .workers
+            .iter()
+            .filter(|w| !matches!(w.health, WorkerHealth::Quarantined))
+            .count();
+        self.draining = true;
+        alive
+    }
+
+    /// Whether a drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Workers currently quarantined.
+    pub fn quarantined(&self) -> u64 {
+        self.workers
+            .iter()
+            .filter(|w| matches!(w.health, WorkerHealth::Quarantined))
+            .count() as u64
+    }
+
+    /// Total restarts across the fleet.
+    pub fn restarts(&self) -> u64 {
+        self.workers.iter().map(|w| w.restarts).sum()
+    }
+
+    /// Total crashes across the fleet.
+    pub fn crashes(&self) -> u64 {
+        self.workers.iter().map(|w| w.crashes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut s = Supervisor::new(
+            SupervisorPolicy {
+                max_consecutive_failures: 10,
+                base_backoff: 1,
+                max_backoff: 4,
+            },
+            1,
+        );
+        assert_eq!(
+            s.record_crash(0, 0),
+            WorkerHealth::BackingOff { until_generation: 2 }
+        );
+        assert!(!s.should_run(0, 1));
+        assert!(s.should_run(0, 2));
+        s.begin_run(0);
+        assert_eq!(s.workers()[0].restarts, 1);
+        assert_eq!(
+            s.record_crash(0, 2),
+            WorkerHealth::BackingOff { until_generation: 5 }
+        );
+        assert_eq!(
+            s.record_crash(0, 5),
+            WorkerHealth::BackingOff { until_generation: 10 },
+            "2^2 = 4 capped at 4"
+        );
+        assert_eq!(
+            s.record_crash(0, 10),
+            WorkerHealth::BackingOff { until_generation: 15 },
+            "cap holds"
+        );
+    }
+
+    #[test]
+    fn quarantine_after_n_consecutive_failures() {
+        let mut s = Supervisor::new(SupervisorPolicy::default(), 2);
+        s.record_crash(0, 0);
+        s.record_probe_failure(0, 1);
+        assert_eq!(s.record_crash(0, 2), WorkerHealth::Quarantined);
+        assert!(!s.should_run(0, 100));
+        assert_eq!(s.quarantined(), 1);
+        // The healthy sibling is unaffected.
+        assert!(s.should_run(1, 100));
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let mut s = Supervisor::new(SupervisorPolicy::default(), 1);
+        s.record_crash(0, 0);
+        s.record_crash(0, 3);
+        s.record_success(0);
+        assert_eq!(s.workers()[0].consecutive_failures, 0);
+        // Two more failures are again below the threshold of three.
+        s.record_crash(0, 5);
+        assert_ne!(s.record_crash(0, 8), WorkerHealth::Quarantined);
+    }
+
+    #[test]
+    fn drain_stops_scheduling_everyone() {
+        let mut s = Supervisor::new(SupervisorPolicy::default(), 3);
+        s.record_crash(2, 0);
+        s.record_crash(2, 2);
+        s.record_crash(2, 4);
+        assert_eq!(s.drain(), 2, "two workers were still schedulable");
+        assert!(s.is_draining());
+        for w in 0..3 {
+            assert!(!s.should_run(w, 10));
+        }
+    }
+}

@@ -70,13 +70,25 @@ impl RecordSink for MemorySink {
 /// Appends records to a JSONL file, one record per line. Creation and
 /// writes are best-effort: an unwritable path degrades to a no-op sink
 /// rather than failing the traced program.
+///
+/// Records are buffered and written out whole-lines-at-a-time on
+/// [`RecordSink::flush`], when the buffer crosses
+/// [`JsonlFileSink::BUFFER_FLUSH_BYTES`], and on `Drop` — including the
+/// drop that happens while a panic unwinds the owning runtime — so a
+/// crashed writer leaves at worst a truncated final line, never a
+/// silently empty file.
 #[derive(Debug)]
 pub struct JsonlFileSink {
     path: PathBuf,
     file: Option<File>,
+    buf: String,
 }
 
 impl JsonlFileSink {
+    /// Buffered bytes beyond which `write_line` flushes on its own, so
+    /// an abruptly killed process bounds what it can lose.
+    pub const BUFFER_FLUSH_BYTES: usize = 32 * 1024;
+
     /// Opens (creating or appending to) the file at `path`.
     pub fn new(path: &Path) -> JsonlFileSink {
         let file = OpenOptions::new()
@@ -87,6 +99,7 @@ impl JsonlFileSink {
         JsonlFileSink {
             path: path.to_owned(),
             file,
+            buf: String::new(),
         }
     }
 
@@ -99,19 +112,41 @@ impl JsonlFileSink {
     pub fn is_open(&self) -> bool {
         self.file.is_some()
     }
+
+    /// Records buffered but not yet written to the file, in bytes.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
 }
 
 impl RecordSink for JsonlFileSink {
     fn write_line(&mut self, line: &str) {
-        if let Some(file) = self.file.as_mut() {
-            let _ = writeln!(file, "{line}");
+        if self.file.is_none() {
+            return;
+        }
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        if self.buf.len() >= Self::BUFFER_FLUSH_BYTES {
+            self.flush();
         }
     }
 
     fn flush(&mut self) {
         if let Some(file) = self.file.as_mut() {
+            if !self.buf.is_empty() {
+                let _ = file.write_all(self.buf.as_bytes());
+                self.buf.clear();
+            }
             let _ = file.flush();
         }
+    }
+}
+
+impl Drop for JsonlFileSink {
+    fn drop(&mut self) {
+        // Runs on orderly shutdown *and* during panic unwinding: the
+        // records a crashing run buffered still reach the file.
+        self.flush();
     }
 }
 
@@ -174,5 +209,63 @@ mod tests {
         assert!(!sink.is_open());
         sink.write_line("dropped");
         sink.flush();
+    }
+
+    #[test]
+    fn dropped_sink_flushes_its_buffer() {
+        let path = std::env::temp_dir().join(format!(
+            "csod-trace-sink-drop-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut sink = JsonlFileSink::new(&path);
+            sink.write_line("{\"n\":1}");
+            assert!(sink.buffered_bytes() > 0, "line is buffered, not written");
+            // No flush: the Drop impl is the only thing standing between
+            // this record and oblivion.
+        }
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"n\":1}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn panic_unwind_still_flushes_the_sink() {
+        let path = std::env::temp_dir().join(format!(
+            "csod-trace-sink-unwind-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let p = path.clone();
+        let result = std::panic::catch_unwind(move || {
+            let mut sink = JsonlFileSink::new(&p);
+            sink.write_line("{\"survives\":true}");
+            panic!("writer dies mid-run");
+        });
+        assert!(result.is_err());
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "{\"survives\":true}\n");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn big_buffers_spill_before_the_threshold_hurts() {
+        let path = std::env::temp_dir().join(format!(
+            "csod-trace-sink-spill-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut sink = JsonlFileSink::new(&path);
+        let line = format!("{{\"pad\":\"{}\"}}", "x".repeat(1024));
+        for _ in 0..(JsonlFileSink::BUFFER_FLUSH_BYTES / 1024 + 2) {
+            sink.write_line(&line);
+        }
+        // The auto-spill kept the buffer bounded without an explicit
+        // flush call.
+        assert!(sink.buffered_bytes() < JsonlFileSink::BUFFER_FLUSH_BYTES);
+        assert!(std::fs::metadata(&path).unwrap().len() > 0);
+        drop(sink);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -17,6 +17,8 @@
 //! * [`workloads`] — the paper's effectiveness and performance workloads;
 //! * [`analyze`] — the static overflow-risk pre-analysis that primes
 //!   the sampler with per-context priors;
+//! * [`fleet`] — crash-safe fleet aggregation: supervised workers,
+//!   durable cross-run priors, corrupt-stream-tolerant ingestion;
 //! * [`trace`] — the always-on observability layer (event rings,
 //!   metrics snapshots, trap-report sinks); build with `--features
 //!   trace-off` to compile the tracer out.
@@ -29,6 +31,7 @@ pub use csod_analyze as analyze;
 pub use sampler_sim as sampler;
 pub use csod_core as core;
 pub use csod_ctx as ctx;
+pub use csod_fleet as fleet;
 pub use csod_rng as rng;
 pub use csod_trace as trace;
 pub use sim_heap as heap;

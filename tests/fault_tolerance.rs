@@ -7,10 +7,112 @@
 
 use csod::core::{ReplacementPolicy, WatchpointManager};
 use csod::ctx::{ContextKey, FrameTable};
+use csod::fleet::{FsMedia, JournalMedia, PriorsStore, MAX_IO_RETRIES};
 use csod::machine::{FaultPlan, Machine, ThreadId, VirtAddr, VirtDuration};
 use csod::rng::Arc4Random;
 use csod::workloads::{run_chaos_soak, ChaosConfig};
 use proptest::prelude::*;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// A scriptable journal media: `EINTR` storms, short writes and a byte
+/// quota (`ENOSPC`) over the real filesystem.
+#[derive(Debug)]
+struct FaultScript {
+    rng: Arc4Random,
+    eintr_ppm: u32,
+    short_ppm: u32,
+    /// Bytes the "disk" still accepts; `None` = unlimited.
+    quota: Option<usize>,
+}
+
+#[derive(Debug)]
+struct FaultyMedia {
+    inner: FsMedia,
+    script: Arc<Mutex<FaultScript>>,
+}
+
+impl FaultyMedia {
+    fn boxed(script: FaultScript) -> (Box<dyn JournalMedia>, Arc<Mutex<FaultScript>>) {
+        let script = Arc::new(Mutex::new(script));
+        let media = FaultyMedia {
+            inner: FsMedia,
+            script: Arc::clone(&script),
+        };
+        (Box::new(media), script)
+    }
+}
+
+fn eintr() -> io::Error {
+    io::Error::new(io::ErrorKind::Interrupted, "injected EINTR")
+}
+
+impl JournalMedia for FaultyMedia {
+    fn append(&mut self, path: &Path, bytes: &[u8]) -> io::Result<usize> {
+        let mut s = self.script.lock().unwrap();
+        let (eintr_ppm, short_ppm) = (s.eintr_ppm, s.short_ppm);
+        if s.rng.chance_ppm(eintr_ppm) {
+            return Err(eintr());
+        }
+        if let Some(quota) = s.quota {
+            if bytes.len() > quota {
+                return Err(io::Error::other("injected ENOSPC"));
+            }
+            s.quota = Some(quota - bytes.len());
+        }
+        if bytes.len() > 1 && s.rng.chance_ppm(short_ppm) {
+            return self.inner.append(path, &bytes[..bytes.len() / 2]);
+        }
+        self.inner.append(path, bytes)
+    }
+
+    fn write_file(&mut self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let interrupted = {
+            let mut s = self.script.lock().unwrap();
+            let ppm = s.eintr_ppm;
+            s.rng.chance_ppm(ppm)
+        };
+        if interrupted {
+            return Err(eintr());
+        }
+        self.inner.write_file(path, bytes)
+    }
+
+    fn rename(&mut self, from: &Path, to: &Path) -> io::Result<()> {
+        let interrupted = {
+            let mut s = self.script.lock().unwrap();
+            let ppm = s.eintr_ppm;
+            s.rng.chance_ppm(ppm)
+        };
+        if interrupted {
+            return Err(eintr());
+        }
+        self.inner.rename(from, to)
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn remove(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn sync(&mut self, path: &Path) -> io::Result<()> {
+        self.inner.sync(path)
+    }
+}
+
+fn store_dir(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "csod-fault-store-{tag}-{}-{case:x}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -102,4 +204,143 @@ proptest! {
         prop_assert_eq!(machine.open_events(), 0, "descriptor leak");
         prop_assert_eq!(machine.free_registers(ThreadId::MAIN), 4, "register leak");
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The priors store under EINTR storms and short writes: retries are
+    /// bounded (the store degrades instead of spinning), and once a
+    /// checkpoint lands, a clean-media restart recovers every single
+    /// observation — no data loss for any fault rates.
+    #[test]
+    fn priors_store_loses_nothing_under_eintr_and_short_writes(
+        seed in any::<u64>(),
+        eintr_ppm in 0u32..600_000,
+        short_ppm in 0u32..600_000,
+        sites in 1usize..30,
+    ) {
+        let dir = store_dir("retry", seed);
+        let (media, _script) = FaultyMedia::boxed(FaultScript {
+            rng: Arc4Random::from_seed(seed, 7),
+            eintr_ppm,
+            short_ppm,
+            quota: None,
+        });
+        let mut store = PriorsStore::open_with_media(&dir, media);
+        for i in 0..sites {
+            store.observe(&format!("faulty.c:{i}|main.c:1"), 1 + i as u64);
+        }
+        // The in-memory aggregate never dropped anything, durable or not.
+        prop_assert_eq!(store.priors().len(), sites);
+
+        // A checkpoint eventually lands (each attempt fails only on 9
+        // consecutive injected EINTRs), making the whole aggregate
+        // durable regardless of what the WAL suffered.
+        let mut landed = false;
+        for _ in 0..100 {
+            if store.checkpoint().is_ok() {
+                landed = true;
+                break;
+            }
+        }
+        prop_assert!(landed, "checkpoint never landed under eintr={eintr_ppm}");
+        prop_assert!(!store.is_degraded(), "checkpoint clears degraded mode");
+        drop(store);
+
+        let recovered = PriorsStore::open(&dir).unwrap();
+        prop_assert_eq!(recovered.priors().len(), sites, "no data loss");
+        for i in 0..sites {
+            prop_assert_eq!(
+                recovered.priors().count(&format!("faulty.c:{i}|main.c:1")),
+                1 + i as u64
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn eintr_storm_gives_up_after_the_bounded_retry_budget() {
+    let dir = store_dir("bounded", 0);
+    let (media, _script) = FaultyMedia::boxed(FaultScript {
+        rng: Arc4Random::from_seed(1, 7),
+        eintr_ppm: 1_000_000, // every media call is interrupted
+        short_ppm: 0,
+        quota: None,
+    });
+    let mut store = PriorsStore::open_with_media(&dir, media);
+    store.observe("stormy.c:1|main.c:1", 1);
+    // append_fully retried exactly MAX_IO_RETRIES + 1 times, then the
+    // store degraded to in-memory buffering instead of spinning forever.
+    assert_eq!(store.stats().io_retries, u64::from(MAX_IO_RETRIES) + 1);
+    assert!(store.is_degraded());
+    assert_eq!(store.stats().buffered_observations, 1);
+    // The observation is not lost — it sits in the aggregate...
+    assert!(store.priors().contains("stormy.c:1|main.c:1"));
+    // ...and a checkpoint under the same storm fails *cleanly*: bounded
+    // retries, an error, and nothing durable destroyed.
+    assert!(store.checkpoint().is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn enospc_degrades_then_checkpoint_recovers_everything() {
+    let dir = store_dir("enospc", 0);
+    let (media, script) = FaultyMedia::boxed(FaultScript {
+        rng: Arc4Random::from_seed(2, 7),
+        eintr_ppm: 0,
+        short_ppm: 0,
+        quota: Some(64), // room for roughly one WAL frame, then ENOSPC
+    });
+    let mut store = PriorsStore::open_with_media(&dir, media);
+    store.observe("first.c:1|main.c:1", 1);
+    store.observe("second.c:2|main.c:1", 2);
+    store.observe("third.c:3|main.c:1", 3);
+    assert!(store.is_degraded(), "the full disk degraded the store");
+    assert!(store.stats().buffered_observations >= 1);
+    assert_eq!(store.priors().len(), 3, "buffering kept every observation");
+
+    // Space comes back; the next checkpoint folds the buffered tail in
+    // and the store is fully durable again.
+    script.lock().unwrap().quota = None;
+    store.checkpoint().unwrap();
+    assert!(!store.is_degraded());
+    assert_eq!(store.stats().buffered_observations, 0);
+    drop(store);
+
+    let recovered = PriorsStore::open(&dir).unwrap();
+    assert_eq!(recovered.priors().count("first.c:1|main.c:1"), 1);
+    assert_eq!(recovered.priors().count("second.c:2|main.c:1"), 2);
+    assert_eq!(recovered.priors().count("third.c:3|main.c:1"), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failed_checkpoint_leaves_the_previous_one_authoritative() {
+    let dir = store_dir("ckpt-fail", 0);
+    // A clean first generation: one durable checkpoint.
+    let mut store = PriorsStore::open(&dir).unwrap();
+    store.observe("keep.c:1|main.c:1", 5);
+    store.checkpoint().unwrap();
+    drop(store);
+
+    // Second generation under a total EINTR storm: the new checkpoint
+    // cannot land, and says so.
+    let (media, _script) = FaultyMedia::boxed(FaultScript {
+        rng: Arc4Random::from_seed(3, 7),
+        eintr_ppm: 1_000_000,
+        short_ppm: 0,
+        quota: None,
+    });
+    let mut store = PriorsStore::open_with_media(&dir, media);
+    assert_eq!(store.priors().count("keep.c:1|main.c:1"), 5);
+    store.observe("new.c:2|main.c:1", 1);
+    assert!(store.checkpoint().is_err());
+    drop(store);
+
+    // The previous checkpoint is untouched: recovery still serves it.
+    let recovered = PriorsStore::open(&dir).unwrap();
+    assert_eq!(recovered.priors().count("keep.c:1|main.c:1"), 5);
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -90,10 +90,16 @@ fn seeded_overflow_lands_in_the_jsonl_trap_report() {
     );
     assert_eq!(report.overflow_site[0], "memcpy.S:81");
 
-    // ...and the JSONL sink carries the same record, self-contained.
+    // ...and the JSONL sink carries the same record, self-contained,
+    // closed by the stream terminator finish() emits.
     let saved = std::fs::read_to_string(&path).unwrap();
     let lines: Vec<&str> = saved.lines().collect();
-    assert_eq!(lines.len(), 2, "one JSON line per detection");
+    assert_eq!(lines.len(), 3, "one JSON line per detection + terminator");
+    assert_eq!(
+        lines[2],
+        csod::core::ReportPipeline::terminator_line(2),
+        "stream ends with a truncation-safe terminator record"
+    );
     let line = lines[0];
     assert!(line.contains("\"method\":\"watchpoint\""));
     assert!(line.contains("\"kind\":\"write\""));

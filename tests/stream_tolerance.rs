@@ -1,0 +1,136 @@
+//! The trap-report stream survives its writer dying.
+//!
+//! Satellite regression for the sink hardening: a writer killed
+//! mid-record leaves a torn tail the reader must absorb without losing
+//! the records before it, and a writer that panics still flushes its
+//! buffer and terminates its stream on the way down, because both the
+//! pipeline and the sink do their duty in `Drop` — which runs during
+//! unwind.
+
+use csod::core::{Csod, CsodConfig, ReportPipeline, TraceParams};
+use csod::ctx::{CallingContext, ContextKey, FrameTable};
+use csod::fleet::{FleetPriors, Ingestor};
+use csod::heap::{HeapConfig, SimHeap};
+use csod::machine::{Machine, ThreadId};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn stream_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("csod-stream-tol-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Runs a small detecting workload writing its stream to `path`; when
+/// `die` is set, panics mid-run instead of finishing cleanly.
+fn write_stream(path: &std::path::Path, die: bool) {
+    let frames = Arc::new(FrameTable::new());
+    let mut machine = Machine::new();
+    let mut heap = SimHeap::new(&mut machine, HeapConfig::default()).unwrap();
+    let mut csod = Csod::new(
+        CsodConfig {
+            trace: TraceParams {
+                trap_report_path: Some(path.to_path_buf()),
+                ..TraceParams::default()
+            },
+            ..CsodConfig::default()
+        },
+        Arc::clone(&frames),
+    );
+    for i in 0..3 {
+        let site = format!("buggy.c:{i}");
+        let key = ContextKey::new(frames.intern(&site), 0x40);
+        let ctx = CallingContext::from_locations(&frames, [site.as_str(), "main.c:1"]);
+        let p = csod
+            .malloc(&mut machine, &mut heap, ThreadId::MAIN, 24, key, &ctx)
+            .unwrap();
+        machine.raw_store_u64(p + 24, 0xDEAD_BEEF).unwrap();
+        csod.free(&mut machine, &mut heap, ThreadId::MAIN, p).unwrap();
+    }
+    if die {
+        panic!("writer dies before finish()");
+    }
+    csod.finish(&mut machine);
+}
+
+#[test]
+fn killed_writer_mid_record_reader_recovers_the_rest() {
+    let dir = stream_dir("kill");
+    let path = dir.join("stream.jsonl");
+    write_stream(&path, false);
+
+    // Kill the writer mid-record: keep the first record and half of the
+    // second, byte-for-byte what a `kill -9` under a page-cache flush
+    // leaves behind.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "three detections plus terminator: {text}");
+    let torn = format!("{}\n{}", lines[0], &lines[1][..lines[1].len() / 2]);
+    std::fs::write(&path, torn).unwrap();
+
+    let mut ingestor = Ingestor::new();
+    let mut priors = FleetPriors::new();
+    let summary = ingestor.ingest_file(&path, &mut priors);
+    assert_eq!(summary.parsed, 1, "the intact record survives");
+    assert_eq!(summary.corrupt, 1, "the torn record is counted, not fatal");
+    assert!(!summary.terminated, "no terminator marks the dead writer");
+    assert_eq!(ingestor.stats().streams_unterminated, 1);
+    assert!(priors.contains("buggy.c:0|main.c:1"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_writer_still_flushes_and_terminates_its_stream() {
+    let dir = stream_dir("panic");
+    let path = dir.join("stream.jsonl");
+    let p = path.clone();
+    let died = std::panic::catch_unwind(move || write_stream(&p, true));
+    assert!(died.is_err(), "the writer panicked as arranged");
+
+    // The unwind dropped Csod -> pipeline terminator -> sink flush, so
+    // the detections made before the panic are all on disk and the
+    // stream is properly closed.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 4, "three canary-at-free records + terminator: {text}");
+    assert_eq!(*lines.last().unwrap(), ReportPipeline::terminator_line(3));
+
+    let mut ingestor = Ingestor::new();
+    let mut priors = FleetPriors::new();
+    let summary = ingestor.ingest_file(&path, &mut priors);
+    assert!(summary.terminated);
+    assert_eq!(summary.parsed, 3);
+    assert_eq!(ingestor.stats().records_lost, 0);
+    for i in 0..3 {
+        assert!(priors.contains(&format!("buggy.c:{i}|main.c:1")));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncation_never_reorders_or_fabricates_records() {
+    let dir = stream_dir("prefix");
+    let path = dir.join("stream.jsonl");
+    write_stream(&path, false);
+    let bytes = std::fs::read(&path).unwrap();
+
+    // At *every* byte offset the readable prefix of records is exactly
+    // a prefix of the full stream's records.
+    let mut full = FleetPriors::new();
+    Ingestor::new().ingest_file(&path, &mut full);
+    let full_sigs: Vec<&str> = full.iter().map(|(sig, _)| sig).collect();
+    for cut in 0..=bytes.len() {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let mut priors = FleetPriors::new();
+        let mut ingestor = Ingestor::new();
+        ingestor.ingest_file(&path, &mut priors);
+        for (sig, _) in priors.iter() {
+            assert!(
+                full_sigs.contains(&sig),
+                "cut {cut} fabricated context {sig}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

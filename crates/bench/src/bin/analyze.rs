@@ -1,0 +1,215 @@
+//! Tracked static-analysis benchmark: cold vs warm (incremental)
+//! analysis throughput and the context-sensitivity verdict census.
+//!
+//! ```bash
+//! cargo run --release -p csod-bench --bin analyze            # writes BENCH_analyze.json
+//! cargo run --release -p csod-bench --bin analyze -- --check BENCH_analyze.json
+//! ```
+//!
+//! The default mode writes `BENCH_analyze.json` (flat keys, one number
+//! each) to the current directory; `--check <baseline>` re-runs the
+//! measurements and exits non-zero when a tracked latency regressed to
+//! more than twice the committed baseline, when the warm incremental
+//! re-analysis after a one-function change is less than
+//! [`MIN_WARM_SPEEDUP`]× faster than a cold run, or when the
+//! context-sensitive pass fails to prove strictly more contexts safe
+//! than the per-function view — the CI perf-smoke gate for the
+//! analyzer.
+
+use csod_analyze::{analyze_with_cache, SummaryCache};
+use std::time::Instant;
+use workloads::SharedHelperApp;
+
+/// Shared allocation helpers in the bench app (one summary module each).
+const HELPERS: usize = 64;
+/// Calling contexts funneled through each helper.
+const CONTEXTS_PER_HELPER: usize = 16;
+/// The helper "edited" between the cold and warm runs.
+const DIRTY_HELPER: usize = 17;
+/// Timed rounds (the fastest is reported, Criterion-style).
+const ROUNDS: usize = 8;
+/// Allowed slowdown versus the committed baseline before `--check` fails.
+const REGRESSION_FACTOR: f64 = 2.0;
+/// Minimum cold/warm ratio `--check` accepts: a one-function change
+/// must make incremental re-analysis at least this much faster.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+
+fn bench_app() -> SharedHelperApp {
+    let mut app = SharedHelperApp::bench(HELPERS, CONTEXTS_PER_HELPER);
+    // Enough per-allocation traffic that summarization dominates the
+    // (unavoidable) lower/hash front-end, as it does in real traces.
+    app.accesses_per_alloc = 32;
+    app
+}
+
+struct Results {
+    metrics: Vec<(&'static str, f64)>,
+}
+
+impl Results {
+    fn get(&self, key: &str) -> f64 {
+        self.metrics
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("metric {key} missing"))
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 == self.metrics.len() { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v:.2}{comma}\n"));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn measure() -> Results {
+    let app = bench_app();
+    let registry = app.registry();
+    let clean = app.trace(1, None);
+    let dirty = app.trace(1, Some(DIRTY_HELPER));
+    eprintln!(
+        "analyze bench: {} contexts through {} helpers, {} events",
+        app.contexts(),
+        app.helpers,
+        clean.len()
+    );
+
+    // Cold: every summary computed from scratch, fresh cache per round.
+    let mut cold_ms = f64::INFINITY;
+    let mut modules = 0usize;
+    for round in 0..=ROUNDS {
+        let mut cache = SummaryCache::new();
+        let start = Instant::now();
+        let (report, stats) = analyze_with_cache(&registry, &clean, Some(&mut cache));
+        let ms = start.elapsed().as_nanos() as f64 / 1e6;
+        assert_eq!(stats.computed, stats.modules);
+        modules = stats.modules;
+        std::hint::black_box(report.verdicts.len());
+        if round > 0 {
+            cold_ms = cold_ms.min(ms);
+        }
+    }
+
+    // Warm: the cache carries the clean run's summaries; the dirty
+    // trace invalidates exactly one helper. Each round starts from a
+    // copy of the prewarmed cache so the refresh inside the run never
+    // turns later rounds into pure cache hits.
+    let mut prewarmed = SummaryCache::new();
+    let (_, stats) = analyze_with_cache(&registry, &clean, Some(&mut prewarmed));
+    assert_eq!(stats.computed, stats.modules);
+    let mut warm_ms = f64::INFINITY;
+    let mut census = (0usize, 0usize, 0usize);
+    let mut fn_census = (0usize, 0usize, 0usize);
+    for round in 0..=ROUNDS {
+        let mut cache = prewarmed.clone();
+        let start = Instant::now();
+        let (report, stats) = analyze_with_cache(&registry, &dirty, Some(&mut cache));
+        let ms = start.elapsed().as_nanos() as f64 / 1e6;
+        assert_eq!(stats.computed, 1, "one dirty helper, one recomputed module");
+        census = report.census();
+        fn_census = report.function_census();
+        std::hint::black_box(report.verdicts.len());
+        if round > 0 {
+            warm_ms = warm_ms.min(ms);
+        }
+    }
+
+    Results {
+        metrics: vec![
+            ("contexts", app.contexts() as f64),
+            ("modules", modules as f64),
+            ("trace_events", clean.len() as f64),
+            ("cold_ms", cold_ms),
+            ("warm_ms", warm_ms),
+            ("warm_speedup", cold_ms / warm_ms),
+            ("functions_per_sec", modules as f64 / (cold_ms / 1e3)),
+            ("contexts_per_sec", app.contexts() as f64 / (cold_ms / 1e3)),
+            ("context_proven_safe", census.0 as f64),
+            ("function_proven_safe", fn_census.0 as f64),
+            ("suspicious", census.1 as f64),
+            ("unknown", census.2 as f64),
+        ],
+    }
+}
+
+/// Pulls `"key": <number>` out of the flat baseline JSON — the file is
+/// written by this binary, so a full parser would be overkill.
+fn extract(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let rest = &json[json.find(&needle)? + needle.len()..];
+    let end = rest.find([',', '\n', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results = measure();
+    println!("\n=== static analysis ===");
+    for (k, v) in &results.metrics {
+        println!("{k:>24}  {v:10.2}");
+    }
+
+    let check_pos = args.iter().position(|a| a == "--check");
+    let mut failed = false;
+    if let Some(pos) = check_pos {
+        let baseline_path = args
+            .get(pos + 1)
+            .map_or("BENCH_analyze.json", |s| s.as_str());
+        let baseline = std::fs::read_to_string(baseline_path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+        for key in ["cold_ms", "warm_ms"] {
+            let base = extract(&baseline, key)
+                .unwrap_or_else(|| panic!("baseline {baseline_path} lacks {key}"));
+            let fresh = results.get(key);
+            let verdict = if fresh > base * REGRESSION_FACTOR {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!("check {key}: {fresh:.2} vs baseline {base:.2} ({verdict})");
+        }
+        let speedup = results.get("warm_speedup");
+        let verdict = if speedup < MIN_WARM_SPEEDUP {
+            failed = true;
+            "TOO SLOW"
+        } else {
+            "ok"
+        };
+        println!("check warm_speedup: {speedup:.2} vs floor {MIN_WARM_SPEEDUP:.2} ({verdict})");
+        let ctx_safe = results.get("context_proven_safe");
+        let fn_safe = results.get("function_proven_safe");
+        let verdict = if ctx_safe <= fn_safe {
+            failed = true;
+            "NO PRECISION GAIN"
+        } else {
+            "ok"
+        };
+        println!(
+            "check context_proven_safe: {ctx_safe:.0} vs per-function {fn_safe:.0} ({verdict})"
+        );
+        if !failed {
+            println!("perf smoke passed");
+        }
+    }
+    // `--out` combines with `--check`: CI gates and refreshes the
+    // artifact in one run. Without either flag the default path is
+    // written, preserving the baseline-refresh behaviour.
+    if check_pos.is_none() || args.iter().any(|a| a == "--out") {
+        let out = args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|p| args.get(p + 1).cloned())
+            .unwrap_or_else(|| "BENCH_analyze.json".into());
+        std::fs::write(&out, results.to_json()).expect("baseline written");
+        println!("wrote {out}");
+    }
+    if failed {
+        eprintln!("perf smoke FAILED: analysis slower than {REGRESSION_FACTOR}x baseline, warm speedup under {MIN_WARM_SPEEDUP}x, or no context-sensitivity gain");
+        std::process::exit(1);
+    }
+}

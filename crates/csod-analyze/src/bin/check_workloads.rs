@@ -4,22 +4,114 @@
 //!
 //! ```text
 //! cargo run -p csod-analyze --bin check_workloads -- --check-workloads
+//! cargo run -p csod-analyze --bin check_workloads -- --write-golden GOLDEN_census.tsv
+//! cargo run -p csod-analyze --bin check_workloads -- --golden GOLDEN_census.tsv
 //! ```
 //!
 //! CI runs this as its own job; a non-zero exit means the analysis is
 //! unsound on a workload the repo itself ships — the one bug class the
-//! priors design cannot tolerate.
+//! priors design cannot tolerate. The checks, in order:
+//!
+//! 1. every planted overflow in the buggy suite is flagged;
+//! 2. the shared-helper suite proves every sibling of the buggy
+//!    context safe and strictly beats the per-function view;
+//! 3. the *per-context* differential: every `proven-safe` verdict is
+//!    replayed in isolation through the reference interpreter — none
+//!    may overflow;
+//! 4. fuzzed workloads: anything the oracle saw overflow must not be
+//!    proven safe;
+//! 5. the incremental cache path produces bit-identical reports to a
+//!    cold analysis;
+//! 6. (with `--golden`) the per-context verdict census matches the
+//!    committed snapshot exactly — any intentional verdict change must
+//!    be re-recorded with `--write-golden`.
 
-use csod_analyze::{analyze, oracle};
+use csod_analyze::{analyze, analyze_incremental, oracle, RiskReport};
 use csod_core::RiskClass;
+use std::path::Path;
 use std::process::ExitCode;
-use workloads::{BuggyApp, FuzzWorkload};
+use workloads::{BuggyApp, FuzzWorkload, SharedHelperApp, SiteRegistry};
+
+/// Renders one app's verdicts as golden-census lines
+/// (`app<TAB>signature<TAB>class`), in site order.
+fn census_lines(report: &RiskReport) -> String {
+    let mut out = String::new();
+    for v in &report.verdicts {
+        out.push_str(&format!("{}\t{}\t{}\n", report.app, v.signature, v.class));
+    }
+    out
+}
+
+/// The canonical golden corpus: every buggy app plus the shared-helper
+/// app, all at seed 1.
+fn golden_census() -> String {
+    let mut out = String::from("# csod-analyze golden per-context verdict census\n");
+    out.push_str("# regenerate: cargo run -p csod-analyze --bin check_workloads -- --write-golden GOLDEN_census.tsv\n");
+    for app in BuggyApp::all() {
+        let registry = app.registry();
+        out.push_str(&census_lines(&analyze(&registry, &app.trace(1))));
+    }
+    let shared = SharedHelperApp::standard();
+    let registry = shared.registry();
+    out.push_str(&census_lines(&analyze(&registry, &shared.trace(1, None))));
+    out
+}
+
+/// Check 3: replay every proven-safe context in isolation; a single
+/// overflow is a soundness failure.
+fn differential(name: &str, registry: &SiteRegistry, report: &RiskReport, trace: &[workloads::Event]) -> usize {
+    let mut failures = 0;
+    let overflowed = oracle::overflowed_contexts(registry, trace);
+    for v in &report.verdicts {
+        if v.class != RiskClass::ProvenSafe {
+            continue;
+        }
+        if overflowed.contains(&v.signature)
+            || oracle::context_overflows(registry, trace, &v.signature)
+        {
+            failures += 1;
+            eprintln!(
+                "FAIL {name}: context {} is proven-safe but overflows under isolated replay",
+                v.signature
+            );
+        }
+    }
+    failures
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if !(args.is_empty() || args.iter().any(|a| a == "--check-workloads")) {
-        eprintln!("usage: check_workloads [--check-workloads]");
-        return ExitCode::from(2);
+    let mut golden: Option<&Path> = None;
+    let mut write_golden: Option<&Path> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check-workloads" => {}
+            "--golden" if i + 1 < args.len() => {
+                i += 1;
+                golden = Some(Path::new(&args[i]));
+            }
+            "--write-golden" if i + 1 < args.len() => {
+                i += 1;
+                write_golden = Some(Path::new(&args[i]));
+            }
+            other => {
+                eprintln!(
+                    "usage: check_workloads [--check-workloads] [--golden FILE | --write-golden FILE] (got {other:?})"
+                );
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    if let Some(path) = write_golden {
+        if let Err(e) = std::fs::write(path, golden_census()) {
+            eprintln!("FAIL writing golden census {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote golden census to {}", path.display());
+        return ExitCode::SUCCESS;
     }
 
     let mut checked = 0usize;
@@ -29,7 +121,8 @@ fn main() -> ExitCode {
     for app in BuggyApp::all() {
         let registry = app.registry();
         for seed in 1..=5 {
-            let report = analyze(&registry, &app.trace(seed));
+            let trace = app.trace(seed);
+            let report = analyze(&registry, &trace);
             checked += 1;
             let class = report.class_of(app.bug_ctx());
             if class == RiskClass::ProvenSafe {
@@ -40,6 +133,8 @@ fn main() -> ExitCode {
                     app.bug_ctx()
                 );
             }
+            // 3. Per-context differential over the whole corpus.
+            failures += differential(app.name, &registry, &report, &trace);
         }
         let (safe, sus, unknown) = analyze(&registry, &app.trace(1)).census();
         println!(
@@ -48,7 +143,41 @@ fn main() -> ExitCode {
         );
     }
 
-    // 2. Fuzzed workloads: anything the oracle saw overflow must not be
+    // 2. Shared-helper suite: context sensitivity must be doing work.
+    let shared = SharedHelperApp::standard();
+    let registry = shared.registry();
+    for seed in 1..=5 {
+        let trace = shared.trace(seed, None);
+        let report = analyze(&registry, &trace);
+        checked += 1;
+        if report.class_of(shared.bug_site()) == RiskClass::ProvenSafe {
+            failures += 1;
+            eprintln!("FAIL {} (seed {seed}): buggy shared-helper context is proven-safe", shared.name);
+        }
+        let (ctx_safe, _, _) = report.census();
+        let (fn_safe, _, _) = report.function_census();
+        if ctx_safe <= fn_safe {
+            failures += 1;
+            eprintln!(
+                "FAIL {} (seed {seed}): context-sensitive pass proves {ctx_safe} contexts safe, \
+                 per-function view proves {fn_safe} — no precision gained",
+                shared.name
+            );
+        }
+        failures += differential(shared.name, &registry, &report, &trace);
+    }
+    {
+        let report = analyze(&registry, &shared.trace(1, None));
+        let (safe, sus, unknown) = report.census();
+        let (fn_safe, fn_sus, fn_unknown) = report.function_census();
+        println!(
+            "{:<28} {safe:>3} proven-safe {sus:>2} suspicious {unknown:>2} unknown \
+             (per-function view: {fn_safe} / {fn_sus} / {fn_unknown})",
+            shared.name
+        );
+    }
+
+    // 4. Fuzzed workloads: anything the oracle saw overflow must not be
     // proven safe (including the injected FuzzBug context).
     for seed in 0..64 {
         for inject in [false, true] {
@@ -71,6 +200,77 @@ fn main() -> ExitCode {
                         bug.ctx
                     );
                 }
+            }
+        }
+    }
+
+    // 5. Incremental path equivalence: warm re-analysis after a dirty
+    // helper must match a cold analysis bit for bit.
+    {
+        let dir = std::env::temp_dir().join(format!("csod-check-incr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).ok();
+        let cache = dir.join("cache.tsv");
+        std::fs::remove_file(&cache).ok();
+        match analyze_incremental(&registry, &shared.trace(1, None), &cache)
+            .and_then(|_| analyze_incremental(&registry, &shared.trace(1, Some(2)), &cache))
+        {
+            Ok((warm, stats)) => {
+                checked += 1;
+                let fresh = analyze(&registry, &shared.trace(1, Some(2)));
+                if warm != fresh {
+                    failures += 1;
+                    eprintln!("FAIL incremental: warm report differs from cold analysis");
+                }
+                if stats.computed >= stats.modules {
+                    failures += 1;
+                    eprintln!(
+                        "FAIL incremental: one-helper change recomputed {}/{} modules",
+                        stats.computed, stats.modules
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL incremental: {e}");
+            }
+        }
+        std::fs::remove_file(&cache).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    // 6. Golden census diff, if a snapshot was provided.
+    if let Some(path) = golden {
+        checked += 1;
+        match std::fs::read_to_string(path) {
+            Ok(expected) => {
+                let actual = golden_census();
+                if expected != actual {
+                    failures += 1;
+                    let expected: Vec<&str> = expected.lines().collect();
+                    let actual_lines: Vec<&str> = actual.lines().collect();
+                    eprintln!(
+                        "FAIL golden census mismatch vs {} ({} vs {} line(s)); \
+                         first diverging lines:",
+                        path.display(),
+                        expected.len(),
+                        actual_lines.len()
+                    );
+                    for i in 0..expected.len().max(actual_lines.len()) {
+                        let want = expected.get(i).copied().unwrap_or("<missing>");
+                        let got = actual_lines.get(i).copied().unwrap_or("<missing>");
+                        if want != got {
+                            eprintln!("  - {want}\n  + {got}");
+                            break;
+                        }
+                    }
+                    eprintln!(
+                        "if the verdict change is intentional, regenerate with --write-golden"
+                    );
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL reading golden census {}: {e}", path.display());
             }
         }
     }

@@ -1,0 +1,188 @@
+//! Call-graph construction over the registry's calling contexts.
+//!
+//! Every allocation site in a [`SiteRegistry`] carries its full
+//! backtrace; its frame signature (innermost first, `|`-joined — the
+//! same rendering [`EvidenceStore::signature`] uses everywhere) *is*
+//! the maximal call string of that context. The call graph interns one
+//! node per distinct frame and one edge per adjacent caller→callee
+//! frame pair, giving the summary stage ([`summary`](crate::summary))
+//! its unit of work: the *function* (innermost frame) an allocation
+//! funnels through. Contexts sharing an allocation helper share a node
+//! but keep distinct signatures — exactly the shape where
+//! context-sensitive verdicts beat per-function ones.
+
+use csod_core::EvidenceStore;
+use std::collections::{BTreeSet, HashMap};
+use workloads::SiteRegistry;
+
+/// The interprocedural call graph of one application's contexts.
+#[derive(Debug)]
+pub struct CallGraph {
+    functions: Vec<String>,
+    index: HashMap<String, usize>,
+    /// `(caller, callee)` node pairs, deduplicated.
+    edges: BTreeSet<(usize, usize)>,
+    /// Allocation site → innermost-frame node.
+    site_function: Vec<usize>,
+    /// Allocation site → full frame signature.
+    site_signature: Vec<String>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every allocation context of `registry`.
+    pub fn build(registry: &SiteRegistry) -> CallGraph {
+        let frames = registry.frames();
+        let mut graph = CallGraph {
+            functions: Vec::new(),
+            index: HashMap::new(),
+            edges: BTreeSet::new(),
+            site_function: Vec::new(),
+            site_signature: Vec::new(),
+        };
+        for site in registry.alloc_sites() {
+            let signature = EvidenceStore::signature(&site.context, frames);
+            let mut callee: Option<usize> = None;
+            for frame in signature.split('|') {
+                let node = graph.intern(frame);
+                if let Some(callee) = callee {
+                    // Frames are innermost-first: this frame calls the
+                    // previous one.
+                    graph.edges.insert((node, callee));
+                }
+                callee = Some(node);
+            }
+            let innermost = signature.split('|').next().unwrap_or("");
+            let node = graph.intern(innermost);
+            graph.site_function.push(node);
+            graph.site_signature.push(signature);
+        }
+        graph
+    }
+
+    fn intern(&mut self, frame: &str) -> usize {
+        if let Some(&i) = self.index.get(frame) {
+            return i;
+        }
+        let i = self.functions.len();
+        self.functions.push(frame.to_owned());
+        self.index.insert(frame.to_owned(), i);
+        i
+    }
+
+    /// Number of distinct functions (frames).
+    pub fn function_count(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of distinct caller→callee edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The innermost frame (allocation function) of `site`, if the
+    /// site exists.
+    pub fn function_of_site(&self, site: usize) -> Option<&str> {
+        self.site_function
+            .get(site)
+            .map(|&f| self.functions[f].as_str())
+    }
+
+    /// The full frame signature of `site`, if the site exists.
+    pub fn signature_of_site(&self, site: usize) -> Option<&str> {
+        self.site_signature.get(site).map(String::as_str)
+    }
+
+    /// All site signatures, in site-index order.
+    pub fn signatures(&self) -> &[String] {
+        &self.site_signature
+    }
+
+    /// The functions `function` calls (its callees), in node order.
+    pub fn callees(&self, function: &str) -> Vec<&str> {
+        let Some(&node) = self.index.get(function) else {
+            return Vec::new();
+        };
+        self.edges
+            .iter()
+            .filter(|&&(caller, _)| caller == node)
+            .map(|&(_, callee)| self.functions[callee].as_str())
+            .collect()
+    }
+
+    /// The functions that call `function` (its callers), in node order.
+    pub fn callers(&self, function: &str) -> Vec<&str> {
+        let Some(&node) = self.index.get(function) else {
+            return Vec::new();
+        };
+        self.edges
+            .iter()
+            .filter(|&&(_, callee)| callee == node)
+            .map(|&(caller, _)| self.functions[caller].as_str())
+            .collect()
+    }
+
+    /// All allocation sites whose innermost frame is `function`.
+    pub fn sites_of(&self, function: &str) -> Vec<usize> {
+        let Some(&node) = self.index.get(function) else {
+            return Vec::new();
+        };
+        self.site_function
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f == node)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csod_ctx::FrameTable;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_helpers_collapse_to_one_node_with_many_sites() {
+        let mut reg = SiteRegistry::new("cg", Arc::new(FrameTable::new()));
+        reg.add_alloc_site_via("xmalloc.c:100");
+        reg.add_alloc_site_via("xmalloc.c:100");
+        reg.add_alloc_site_via("arena.c:50");
+        let g = CallGraph::build(&reg);
+        assert_eq!(g.function_of_site(0), g.function_of_site(1));
+        assert_ne!(g.function_of_site(0), g.function_of_site(2));
+        let helper = g.function_of_site(0).unwrap().to_owned();
+        assert_eq!(g.sites_of(&helper), vec![0, 1]);
+        // Distinct sites keep distinct full signatures.
+        assert_ne!(g.signature_of_site(0), g.signature_of_site(1));
+        assert_eq!(g.signatures().len(), 3);
+    }
+
+    #[test]
+    fn edges_point_from_caller_to_callee() {
+        let mut reg = SiteRegistry::new("cg", Arc::new(FrameTable::new()));
+        reg.add_alloc_site_via("xmalloc.c:100");
+        let g = CallGraph::build(&reg);
+        let helper = g.function_of_site(0).unwrap().to_owned();
+        // The helper is called by the per-context caller frame, which
+        // is in turn called by main.
+        let callers = g.callers(&helper);
+        assert_eq!(callers.len(), 1);
+        assert!(callers[0].contains("caller/ctx_0"));
+        let upstream = g.callers(callers[0]);
+        assert_eq!(upstream.len(), 1);
+        assert!(upstream[0].contains("main.c:42"));
+        assert!(g.callees(&helper).is_empty());
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.function_count(), 3);
+    }
+
+    #[test]
+    fn missing_sites_and_functions_resolve_to_nothing() {
+        let reg = SiteRegistry::new("cg", Arc::new(FrameTable::new()));
+        let g = CallGraph::build(&reg);
+        assert!(g.function_of_site(0).is_none());
+        assert!(g.signature_of_site(7).is_none());
+        assert!(g.callees("nope").is_empty());
+        assert!(g.sites_of("nope").is_empty());
+    }
+}

@@ -1,8 +1,8 @@
-//! The classifier: bounds facts in, per-site risk verdicts out.
+//! The classifier: bounds facts in, per-context risk verdicts out.
 //!
 //! For every `Use` the binding resolution left us, the classifier
 //! relates the access's byte range to the size of the object(s) it can
-//! touch and folds the result into a per-allocation-site verdict:
+//! touch and folds the result into a per-allocation-context verdict:
 //!
 //! * **Definite** bindings compare exactly: `offset + len > size` is an
 //!   overflow, anything else is proven in bounds for *this* access.
@@ -14,17 +14,24 @@
 //!   safe; one that can reach past it is suspicious; one whose bound
 //!   was invented by widening proves nothing and yields *Unknown*.
 //! * `PastEnd` accesses (the trace's overflow events) are out of
-//!   bounds for every possible size and mark every candidate site
+//!   bounds for every possible size and mark every candidate context
 //!   suspicious outright.
 //!
 //! Uses-after-free are out of overflow scope (CSOD removes the
 //! watchpoint at `free`) and are skipped. The lattice is
-//! `ProvenSafe < Unknown < Suspicious`: a site keeps the worst verdict
-//! any of its generations' accesses earned.
+//! `ProvenSafe < Unknown < Suspicious`: a context keeps the worst
+//! verdict any of its generations' accesses earned.
+//!
+//! The core is split in two so the per-function summary stage
+//! ([`summary`](crate::summary)) can run it module-by-module:
+//! [`classify_stmts`] turns one statement subset into [`Raise`]s, and
+//! [`fold_raises`] folds raises from any number of modules into the
+//! final per-context outcomes. [`classify`] is the classic whole-program
+//! composition of the two.
 
 use crate::cfg::{Binding, Bindings};
 use crate::domain::Interval;
-use crate::ir::{AccessRange, Program, StmtKind};
+use crate::ir::{AccessRange, GenId, Program, StmtKind};
 use csod_core::RiskClass;
 use std::collections::HashMap;
 
@@ -55,18 +62,23 @@ impl AccessSummary {
     }
 }
 
-/// The verdict for one allocation site.
+/// The verdict for one allocation calling context.
+///
+/// In the trace IR every registry allocation site *is* one calling
+/// context (the registry stores the full backtrace per site), so the
+/// outcome is keyed by the site index and resolves to the context's
+/// frame signature in the [report](crate::report).
 #[derive(Debug, Clone)]
-pub struct SiteOutcome {
-    /// Allocation-site index in the registry.
+pub struct ContextOutcome {
+    /// Allocation-site (= calling-context) index in the registry.
     pub site: usize,
-    /// The risk class every calling context of this site gets.
+    /// The risk class this calling context gets.
     pub class: RiskClass,
     /// Human-readable justification (for suspicious/unknown verdicts).
     pub witness: Option<String>,
 }
 
-fn rank(class: RiskClass) -> u8 {
+pub(crate) fn rank(class: RiskClass) -> u8 {
     match class {
         RiskClass::ProvenSafe => 0,
         RiskClass::Unknown => 1,
@@ -74,57 +86,96 @@ fn rank(class: RiskClass) -> u8 {
     }
 }
 
-/// Classifies every allocation site of `program`.
-pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
-    let mut outcomes: Vec<SiteOutcome> = (0..program.alloc_site_count)
-        .map(|site| SiteOutcome {
-            site,
-            class: RiskClass::ProvenSafe,
-            witness: None,
-        })
-        .collect();
-    let raise = |outcomes: &mut Vec<SiteOutcome>, site: usize, class: RiskClass, w: String| {
-        if site < outcomes.len() && rank(class) > rank(outcomes[site].class) {
-            outcomes[site].class = class;
-            outcomes[site].witness = Some(w);
+/// One classification fact: evidence that `site`'s verdict must be at
+/// least `class`. Raises are what module summaries record and what the
+/// incremental cache persists (keyed by context signature).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Raise {
+    /// Allocation-site (calling-context) index.
+    pub site: usize,
+    /// The floor this fact imposes.
+    pub class: RiskClass,
+    /// Why.
+    pub witness: String,
+}
+
+/// A borrowed view of a [`Binding`], so module-local binding tables and
+/// the whole-program [`Bindings`] feed the same classification core.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum BindingRef<'a> {
+    /// The slot is provably empty here.
+    None,
+    /// Exactly one generation can be in the slot.
+    Definite(GenId),
+    /// Any of these generations can be in the slot.
+    Ambiguous(&'a [GenId]),
+}
+
+impl<'a> From<&'a Binding> for BindingRef<'a> {
+    fn from(b: &'a Binding) -> BindingRef<'a> {
+        match b {
+            Binding::None => BindingRef::None,
+            Binding::Definite(g) => BindingRef::Definite(*g),
+            Binding::Ambiguous(gens) => BindingRef::Ambiguous(gens),
         }
+    }
+}
+
+/// Classifies the `Use` statements named by `stmts` (as
+/// `(thread, index)` pairs, in thread-major program order), resolving
+/// bindings through `binding_of`. Statements for which `binding_of`
+/// returns `None` are skipped — that is how a module restricts the pass
+/// to its own slots.
+pub(crate) fn classify_stmts<'m, F>(
+    program: &Program,
+    stmts: &[(usize, usize)],
+    binding_of: F,
+) -> Vec<Raise>
+where
+    F: Fn(usize, usize) -> Option<BindingRef<'m>>,
+{
+    let mut raises = Vec::new();
+    let mut raise = |site: usize, class: RiskClass, witness: String| {
+        raises.push(Raise {
+            site,
+            class,
+            witness,
+        });
     };
 
     // Pass 1: summarize ambiguous exact accesses per (token, slot).
     // Iterate in program order (not map order) so summary folding —
     // and with it the widening point — is deterministic.
     let mut summaries: HashMap<(u64, usize), AccessSummary> = HashMap::new();
-    for (thread, stmts) in program.threads.iter().enumerate() {
-        for (i, stmt) in stmts.iter().enumerate() {
-            let StmtKind::Use {
-                slot,
-                range: AccessRange::Exact { offset, len },
-                token,
-                dangling: false,
-                ..
-            } = stmt.kind
-            else {
-                continue;
-            };
-            if !matches!(bindings.of(thread, i), Some(Binding::Ambiguous(_))) {
-                continue;
-            }
-            let end = i128::from(offset.saturating_add(len));
-            summaries
-                .entry((token.0, slot))
-                .and_modify(|s| s.fold(end))
-                .or_insert(AccessSummary {
-                    end: Interval::point(end),
-                    occurrences: 1,
-                });
+    for &(thread, i) in stmts {
+        let StmtKind::Use {
+            slot,
+            range: AccessRange::Exact { offset, len },
+            token,
+            dangling: false,
+            ..
+        } = program.threads[thread][i].kind
+        else {
+            continue;
+        };
+        if !matches!(binding_of(thread, i), Some(BindingRef::Ambiguous(_))) {
+            continue;
         }
+        let end = i128::from(offset.saturating_add(len));
+        summaries
+            .entry((token.0, slot))
+            .and_modify(|s| s.fold(end))
+            .or_insert(AccessSummary {
+                end: Interval::point(end),
+                occurrences: 1,
+            });
     }
 
-    // Pass 2: fold every bound access into its site's verdict.
-    let uses = program.threads.iter().enumerate().flat_map(|(t, stmts)| {
-        (0..stmts.len()).filter_map(move |i| bindings.of(t, i).map(|b| (t, i, b)))
-    });
-    for (thread, i, binding) in uses {
+    // Pass 2: fold every bound access into raises.
+    for &(thread, i) in stmts {
+        let Some(binding) = binding_of(thread, i) else {
+            continue;
+        };
         let StmtKind::Use {
             slot,
             range,
@@ -139,15 +190,14 @@ pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
             continue;
         }
         match (range, binding) {
-            (_, Binding::None) => {}
+            (_, BindingRef::None) => {}
             (AccessRange::FirstWord, _) => {
                 // The runner clamps bursts to the first in-bounds word;
                 // safe for every size.
             }
-            (AccessRange::PastEnd, Binding::Definite(g)) => {
-                let gen = program.generation(*g);
+            (AccessRange::PastEnd, BindingRef::Definite(g)) => {
+                let gen = program.generation(g);
                 raise(
-                    &mut outcomes,
                     gen.site,
                     RiskClass::Suspicious,
                     format!(
@@ -156,11 +206,10 @@ pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
                     ),
                 );
             }
-            (AccessRange::PastEnd, Binding::Ambiguous(gens)) => {
+            (AccessRange::PastEnd, BindingRef::Ambiguous(gens)) => {
                 for g in gens {
                     let gen = program.generation(*g);
                     raise(
-                        &mut outcomes,
                         gen.site,
                         RiskClass::Suspicious,
                         format!(
@@ -170,12 +219,11 @@ pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
                     );
                 }
             }
-            (AccessRange::Exact { offset, len }, Binding::Definite(g)) => {
-                let gen = program.generation(*g);
+            (AccessRange::Exact { offset, len }, BindingRef::Definite(g)) => {
+                let gen = program.generation(g);
                 let end = offset.saturating_add(len);
                 if end > gen.size {
                     raise(
-                        &mut outcomes,
                         gen.site,
                         RiskClass::Suspicious,
                         format!(
@@ -185,7 +233,7 @@ pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
                     );
                 }
             }
-            (AccessRange::Exact { .. }, Binding::Ambiguous(gens)) => {
+            (AccessRange::Exact { .. }, BindingRef::Ambiguous(gens)) => {
                 let summary = &summaries[&(token.0, slot)];
                 let end_hi = if summary.end.widened {
                     None
@@ -196,7 +244,6 @@ pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
                     for g in gens {
                         let gen = program.generation(*g);
                         raise(
-                            &mut outcomes,
                             gen.site,
                             RiskClass::Unknown,
                             format!(
@@ -220,7 +267,6 @@ pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
                 for (site, size) in min_size {
                     if end_hi > i128::from(size) {
                         raise(
-                            &mut outcomes,
                             site,
                             RiskClass::Suspicious,
                             format!(
@@ -233,8 +279,31 @@ pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
             }
         }
     }
+    raises
+}
 
-    // Sites never allocated in the trace stay vacuously safe; note why.
+/// Folds raises (from any number of modules, in module order) into one
+/// [`ContextOutcome`] per allocation site. Every site starts at
+/// `ProvenSafe`; the worst raise wins; sites never allocated in the
+/// trace stay vacuously safe with an explanatory witness.
+pub(crate) fn fold_raises(
+    program: &Program,
+    raises: impl IntoIterator<Item = Raise>,
+) -> Vec<ContextOutcome> {
+    let mut outcomes: Vec<ContextOutcome> = (0..program.alloc_site_count)
+        .map(|site| ContextOutcome {
+            site,
+            class: RiskClass::ProvenSafe,
+            witness: None,
+        })
+        .collect();
+    for r in raises {
+        if r.site < outcomes.len() && rank(r.class) > rank(outcomes[r.site].class) {
+            outcomes[r.site].class = r.class;
+            outcomes[r.site].witness = Some(r.witness);
+        }
+    }
+
     let mut allocated = vec![false; program.alloc_site_count];
     for gen in &program.generations {
         if gen.site < allocated.len() {
@@ -247,6 +316,22 @@ pub fn classify(program: &Program, bindings: &Bindings) -> Vec<SiteOutcome> {
         }
     }
     outcomes
+}
+
+/// Classifies every allocation context of `program` against
+/// whole-program `bindings` — the classic single-module composition of
+/// [`classify_stmts`] and [`fold_raises`].
+pub fn classify(program: &Program, bindings: &Bindings) -> Vec<ContextOutcome> {
+    let stmts: Vec<(usize, usize)> = program
+        .threads
+        .iter()
+        .enumerate()
+        .flat_map(|(t, s)| (0..s.len()).map(move |i| (t, i)))
+        .collect();
+    let raises = classify_stmts(program, &stmts, |t, i| {
+        bindings.of(t, i).map(BindingRef::from)
+    });
+    fold_raises(program, raises)
 }
 
 #[cfg(test)]
@@ -267,7 +352,7 @@ mod tests {
         reg
     }
 
-    fn run(reg: &SiteRegistry, trace: &[Event]) -> Vec<SiteOutcome> {
+    fn run(reg: &SiteRegistry, trace: &[Event]) -> Vec<ContextOutcome> {
         let program = lower(reg, trace);
         let cfg = Cfg::build(&program);
         let slots = analyze_slots(&program);

@@ -4,8 +4,8 @@
 //! 50 % watch probability and learns only from what the four
 //! watchpoints happen to observe. This crate front-loads that learning:
 //! an offline pass over a workload's event trace classifies every
-//! allocation site as **proven-safe**, **suspicious** or **unknown**,
-//! and hands the verdicts to the runtime as
+//! allocation *calling context* as **proven-safe**, **suspicious** or
+//! **unknown**, and hands the verdicts to the runtime as
 //! [`AnalysisPriors`](csod_core::AnalysisPriors) so proven-safe
 //! contexts start at the probability floor (freeing watch slots) and
 //! suspicious ones start boosted and immune to burst throttling.
@@ -16,16 +16,28 @@
 //! |---|---|
 //! | Trace → per-thread statement IR | [`ir`] |
 //! | Basic blocks + spawn edges | [`cfg`] |
+//! | Call graph over allocation contexts | [`callgraph`] |
 //! | Pointer-slot escape analysis | [`escape`] |
-//! | Flow-sensitive binding resolution | [`cfg::resolve_bindings`] |
+//! | Per-function summaries + incremental cache | [`summary`] |
 //! | Interval bounds inference | [`domain`], [`classify`] |
 //! | Serializable verdicts + runtime bridge | [`report`] |
 //!
+//! The analysis is *context-sensitive*: verdicts are keyed by the same
+//! `|`-joined frame signature
+//! ([`EvidenceStore::signature`](csod_core::EvidenceStore::signature))
+//! the runtime's context table and the fleet's priors store use, so two
+//! calling contexts funneling through one allocation helper get
+//! independent verdicts. [`RiskReport::class_of_context`] resolves
+//! exact-context first with a sound per-function fallback, and
+//! [`RiskReport::call_string_classes`] exposes the call-string-`k`
+//! merged view (k = 1 is the old per-function analysis).
+//!
 //! The classification is *sound* by construction toward the dangerous
-//! side: precision loss (escaped slots, widened summaries) can only
-//! move a site from proven-safe to unknown/suspicious, never the other
-//! way. [`oracle`] provides the reference interpreter the test tiers
-//! use to enforce that.
+//! side: precision loss (escaped slots, widened summaries, call-string
+//! truncation) can only move a context from proven-safe to
+//! unknown/suspicious, never the other way. [`oracle`] provides the
+//! reference interpreter the test tiers use to enforce that, down to
+//! replaying individual calling contexts.
 //!
 //! # Examples
 //!
@@ -48,6 +60,7 @@
 #![warn(clippy::cast_possible_truncation)]
 #![warn(clippy::missing_panics_doc)]
 
+pub mod callgraph;
 pub mod cfg;
 pub mod classify;
 pub mod domain;
@@ -55,32 +68,67 @@ pub mod escape;
 pub mod ir;
 pub mod oracle;
 pub mod report;
+pub mod summary;
 
+pub use callgraph::CallGraph;
 pub use cfg::{Binding, Bindings, Cfg};
-pub use classify::{AccessSummary, SiteOutcome, WIDEN_AFTER};
+pub use classify::{AccessSummary, ContextOutcome, WIDEN_AFTER};
 pub use domain::{Bound, Interval};
 pub use escape::{SlotInfo, SlotTable};
 pub use ir::{AccessRange, GenId, Generation, Program};
-pub use report::{RiskReport, SiteVerdict};
+pub use report::{ContextVerdict, RiskReport};
+pub use summary::{AnalyzeStats, ModulePartition, ModuleSummary, SummaryCache};
 
+use std::io;
+use std::path::Path;
 use workloads::{Event, SiteRegistry};
 
-/// Runs the whole pipeline: lowers `trace`, resolves what every access
-/// can touch, and classifies each of `registry`'s allocation sites.
+/// Runs the whole pipeline cold: lowers `trace`, partitions slots into
+/// per-function modules, summarizes them on the parallel worklist, and
+/// classifies each of `registry`'s allocation contexts.
 pub fn analyze(registry: &SiteRegistry, trace: &[Event]) -> RiskReport {
+    analyze_with_cache(registry, trace, None).0
+}
+
+/// Like [`analyze`], but reusing (and refreshing) per-function
+/// summaries cached at `cache_path`: modules whose structural hash is
+/// unchanged since the cached run are not recomputed. Returns the
+/// report and what the incremental layer did.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading or writing the cache file (a
+/// *missing* cache file is simply a cold run).
+pub fn analyze_incremental(
+    registry: &SiteRegistry,
+    trace: &[Event],
+    cache_path: &Path,
+) -> io::Result<(RiskReport, AnalyzeStats)> {
+    let mut cache = SummaryCache::load(cache_path)?;
+    let (report, stats) = analyze_with_cache(registry, trace, Some(&mut cache));
+    cache.save(cache_path)?;
+    Ok((report, stats))
+}
+
+/// The shared pipeline body: `cache = None` computes everything,
+/// `Some` reuses hash-clean modules and refreshes the entries in place.
+pub fn analyze_with_cache(
+    registry: &SiteRegistry,
+    trace: &[Event],
+    cache: Option<&mut SummaryCache>,
+) -> (RiskReport, AnalyzeStats) {
     let program = ir::lower(registry, trace);
-    let cfg = Cfg::build(&program);
     let slots = escape::analyze_slots(&program);
-    let bindings = cfg::resolve_bindings(&program, &cfg, &slots);
-    let outcomes = classify::classify(&program, &bindings);
-    RiskReport::new(registry, outcomes)
+    let graph = CallGraph::build(registry);
+    let (outcomes, _summaries, stats) = summary::run(&program, &slots, &graph, cache);
+    (RiskReport::new(registry, outcomes), stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use csod_core::RiskClass;
-    use workloads::BuggyApp;
+    use workloads::{BuggyApp, SharedHelperApp};
 
     #[test]
     fn every_buggy_app_flags_its_bug_and_proves_the_rest() {
@@ -113,5 +161,51 @@ mod tests {
         let a = analyze(&registry, &app.trace(7));
         let b = analyze(&registry, &app.trace(7));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn context_sensitivity_beats_the_per_function_view() {
+        // Through a shared allocation helper, the context-sensitive
+        // pass proves every sibling of the buggy context safe; the
+        // per-function (call-string-1) view must condemn them all.
+        let app = SharedHelperApp::standard();
+        let registry = app.registry();
+        let report = analyze(&registry, &app.trace(1, None));
+        let (ctx_safe, ctx_sus, _) = report.census();
+        assert_eq!(ctx_sus, 1);
+        assert_eq!(ctx_safe, app.contexts() - 1);
+        let (fn_safe, fn_sus, _) = report.function_census();
+        assert_eq!(
+            fn_sus,
+            app.contexts_per_helper,
+            "per-function view smears the bug over the whole helper"
+        );
+        assert!(
+            ctx_safe > fn_safe,
+            "context-sensitive pass must prove strictly more contexts safe"
+        );
+    }
+
+    #[test]
+    fn incremental_reanalysis_recomputes_only_the_dirty_function() {
+        let app = SharedHelperApp::standard();
+        let registry = app.registry();
+        let dir = std::env::temp_dir().join("csod-analyze-incremental-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.tsv");
+        std::fs::remove_file(&path).ok();
+
+        let (cold, stats) = analyze_incremental(&registry, &app.trace(1, None), &path).unwrap();
+        assert_eq!(stats.computed, stats.modules);
+
+        let (warm, stats) = analyze_incremental(&registry, &app.trace(1, Some(3)), &path).unwrap();
+        assert_eq!(stats.computed, 1, "one-function change, one module");
+        assert_eq!(stats.reused, stats.modules - 1);
+        // The warm incremental verdicts match a cold analysis of the
+        // same dirty trace exactly.
+        let fresh = analyze(&registry, &app.trace(1, Some(3)));
+        assert_eq!(warm, fresh);
+        assert_eq!(cold.census().1, warm.census().1);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -11,9 +11,16 @@
 //! range exceeds the object) count; the trace runner clamps plain
 //! accesses in bounds, but the analyzer judges intent, so the oracle
 //! does too.
+//!
+//! Since verdicts became context-keyed, the oracle can also answer at
+//! context granularity: [`overflowed_contexts`] maps the overflowed
+//! sites to their frame signatures, and [`context_overflows`] replays
+//! the trace with exactly one calling context in scope — the
+//! differential the `analysis-soundness` CI job runs per context.
 
+use csod_core::EvidenceStore;
 use std::collections::{BTreeSet, HashMap};
-use workloads::Event;
+use workloads::{Event, SiteRegistry};
 
 /// Replays `trace` and returns the allocation-site indices whose
 /// objects are dynamically overflowed (by an overflow event, or by an
@@ -51,6 +58,70 @@ pub fn overflowed_sites(trace: &[Event]) -> BTreeSet<usize> {
     hit
 }
 
+/// Replays `trace` and returns the frame *signatures* of every calling
+/// context whose object dynamically overflowed. Sites not present in
+/// `registry` (a trace from a different app version) are skipped.
+pub fn overflowed_contexts(registry: &SiteRegistry, trace: &[Event]) -> BTreeSet<String> {
+    let frames = registry.frames();
+    overflowed_sites(trace)
+        .into_iter()
+        .filter(|&site| site < registry.alloc_site_count())
+        .map(|site| EvidenceStore::signature(&registry.alloc_site(site).context, frames))
+        .collect()
+}
+
+/// Replays `trace` with only the calling context named by `signature`
+/// in scope and reports whether *that* context overflowed — the
+/// per-context differential backing the soundness obligation
+///
+/// > no context classified `ProvenSafe` may overflow when replayed
+/// > in isolation.
+///
+/// Allocations from other contexts still happen (slot reuse is
+/// preserved), but only hits against this context's generations count.
+pub fn context_overflows(registry: &SiteRegistry, trace: &[Event], signature: &str) -> bool {
+    let frames = registry.frames();
+    let matching: BTreeSet<usize> = registry
+        .alloc_sites()
+        .filter(|site| EvidenceStore::signature(&site.context, frames) == signature)
+        .map(|site| site.index)
+        .collect();
+    if matching.is_empty() {
+        return false;
+    }
+    let mut live: HashMap<usize, (usize, u64)> = HashMap::new();
+    for event in trace {
+        match *event {
+            Event::Malloc {
+                site, size, slot, ..
+            } => {
+                live.insert(slot, (site, size));
+            }
+            Event::Free { slot, .. } => {
+                live.remove(&slot);
+            }
+            Event::OverflowAccess { slot, .. } | Event::OverflowBurst { slot, .. } => {
+                if let Some(&(site, _)) = live.get(&slot) {
+                    if matching.contains(&site) {
+                        return true;
+                    }
+                }
+            }
+            Event::Access {
+                slot, offset, len, ..
+            } => {
+                if let Some(&(site, size)) = live.get(&slot) {
+                    if matching.contains(&site) && offset.saturating_add(len) > size {
+                        return true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +151,25 @@ mod tests {
             Event::overflow(0, AccessKind::Write, t),
         ];
         assert!(overflowed_sites(&trace).is_empty());
+    }
+
+    #[test]
+    fn per_context_replay_isolates_the_buggy_caller() {
+        use workloads::SharedHelperApp;
+        let app = SharedHelperApp::standard();
+        let registry = app.registry();
+        let trace = app.trace(1, None);
+        let overflowed = overflowed_contexts(&registry, &trace);
+        assert_eq!(overflowed.len(), 1, "exactly one context overflows");
+        let frames = registry.frames();
+        for site in registry.alloc_sites() {
+            let sig = csod_core::EvidenceStore::signature(&site.context, frames);
+            assert_eq!(
+                context_overflows(&registry, &trace, &sig),
+                site.index == app.bug_site(),
+                "context {sig} replay disagrees with the planted bug"
+            );
+        }
+        assert!(!context_overflows(&registry, &trace, "no/such.c:1"));
     }
 }

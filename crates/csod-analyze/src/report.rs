@@ -1,15 +1,23 @@
 //! The serializable risk report and its bridge to the runtime.
 //!
 //! [`RiskReport`] is the analyzer's output artifact: one verdict per
-//! allocation site, addressed by the same `|`-joined frame signature
-//! the runtime's [`EvidenceStore`](csod_core::EvidenceStore) uses, so
-//! reports survive process restarts and site-index reshuffles. The
+//! allocation calling context, addressed by the same `|`-joined frame
+//! signature the runtime's [`EvidenceStore`](csod_core::EvidenceStore)
+//! and the fleet's priors store use, so reports survive process
+//! restarts and site-index reshuffles. Lookup is exact-context first
+//! ([`RiskReport::class_of_context`]) with a sound per-function
+//! fallback, and the call-string-`k` views
+//! ([`RiskReport::call_string_classes`]) expose what the analysis
+//! would claim under context cloning truncated to `k` frames — `k = 1`
+//! is the old per-function (per-allocation-site) analysis. The
 //! [`RiskReport::to_priors`] bridge turns a report into the
 //! [`AnalysisPriors`] table [`CsodConfig`](csod_core::CsodConfig)
 //! consumes — that is the whole hand-off between the offline analysis
 //! and the online sampler.
 
+use crate::classify::rank;
 use csod_core::{AnalysisPriors, EvidenceStore, RiskClass};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io::{self, Write};
@@ -17,12 +25,13 @@ use std::path::Path;
 use std::str::FromStr;
 use workloads::SiteRegistry;
 
-/// The verdict for one allocation site, in serializable form.
+/// The verdict for one allocation calling context, in serializable
+/// form.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SiteVerdict {
+pub struct ContextVerdict {
     /// Allocation-site index in the registry the report was built from.
     pub site: usize,
-    /// Frame signature of the site's calling context (innermost first,
+    /// Frame signature of the calling context (innermost first,
     /// `|`-separated) — the stable cross-run address.
     pub signature: String,
     /// The risk class.
@@ -36,18 +45,21 @@ pub struct SiteVerdict {
 pub struct RiskReport {
     /// The analyzed application's name.
     pub app: String,
-    /// One verdict per allocation site, in site-index order.
-    pub verdicts: Vec<SiteVerdict>,
+    /// One verdict per allocation context, in site-index order.
+    pub verdicts: Vec<ContextVerdict>,
 }
 
 impl RiskReport {
     /// Assembles a report from classifier outcomes against the registry
     /// that produced the trace.
-    pub fn new(registry: &SiteRegistry, outcomes: Vec<crate::classify::SiteOutcome>) -> RiskReport {
+    pub fn new(
+        registry: &SiteRegistry,
+        outcomes: Vec<crate::classify::ContextOutcome>,
+    ) -> RiskReport {
         let frames = registry.frames();
         let verdicts = outcomes
             .into_iter()
-            .map(|o| SiteVerdict {
+            .map(|o| ContextVerdict {
                 site: o.site,
                 signature: EvidenceStore::signature(&registry.alloc_site(o.site).context, frames),
                 class: o.class,
@@ -60,13 +72,39 @@ impl RiskReport {
         }
     }
 
-    /// The class of allocation site `site`; `Unknown` for sites the
+    /// The class of allocation context `site`; `Unknown` for sites the
     /// report does not cover.
     pub fn class_of(&self, site: usize) -> RiskClass {
         self.verdicts
             .iter()
             .find(|v| v.site == site)
             .map_or(RiskClass::Unknown, |v| v.class)
+    }
+
+    /// Resolves a context signature: exact-context first, then a
+    /// *sound* per-function fallback for contexts the report never saw.
+    ///
+    /// The fallback keys on the signature's innermost frame (the
+    /// allocation function). An unseen context was not analyzed, so the
+    /// fallback never claims `ProvenSafe`: it answers `Suspicious` if
+    /// any analyzed context of the same function is suspicious (the
+    /// helper has a dangerous caller), and `Unknown` otherwise —
+    /// precision loss only ever moves a context toward suspicious.
+    pub fn class_of_context(&self, signature: &str) -> RiskClass {
+        if let Some(v) = self.verdicts.iter().find(|v| v.signature == signature) {
+            return v.class;
+        }
+        let function = signature.split('|').next().unwrap_or("");
+        let helper_is_dirty = self
+            .verdicts
+            .iter()
+            .filter(|v| v.signature.split('|').next() == Some(function))
+            .any(|v| v.class == RiskClass::Suspicious);
+        if helper_is_dirty {
+            RiskClass::Suspicious
+        } else {
+            RiskClass::Unknown
+        }
     }
 
     /// Counts of `(proven-safe, suspicious, unknown)` verdicts.
@@ -82,6 +120,56 @@ impl RiskReport {
             }
         }
         (safe, sus, unknown)
+    }
+
+    /// The verdicts merged under call-string-`k` cloning: contexts
+    /// sharing their `k` innermost frames collapse into one clone whose
+    /// class is the *worst* of the group (merging may only lose
+    /// precision toward suspicious). `k` at least the deepest context
+    /// reproduces the full context-sensitive verdicts; `k = 1` is the
+    /// per-function analysis this crate performed before
+    /// context-sensitivity.
+    pub fn call_string_classes(&self, k: usize) -> BTreeMap<String, RiskClass> {
+        let mut classes: BTreeMap<String, RiskClass> = BTreeMap::new();
+        for v in &self.verdicts {
+            let prefix = call_string_prefix(&v.signature, k);
+            classes
+                .entry(prefix)
+                .and_modify(|c| {
+                    if rank(v.class) > rank(*c) {
+                        *c = v.class;
+                    }
+                })
+                .or_insert(v.class);
+        }
+        classes
+    }
+
+    /// Counts of `(proven-safe, suspicious, unknown)` over all
+    /// contexts, with each context taking its call-string-`k` clone's
+    /// (worst-of-group) class.
+    pub fn call_string_census(&self, k: usize) -> (usize, usize, usize) {
+        let classes = self.call_string_classes(k);
+        let mut safe = 0;
+        let mut sus = 0;
+        let mut unknown = 0;
+        for v in &self.verdicts {
+            let class = classes[&call_string_prefix(&v.signature, k)];
+            match class {
+                RiskClass::ProvenSafe => safe += 1,
+                RiskClass::Suspicious => sus += 1,
+                RiskClass::Unknown => unknown += 1,
+            }
+        }
+        (safe, sus, unknown)
+    }
+
+    /// The census a context-*insensitive* (per-allocation-function)
+    /// analysis would report: every context inherits the worst verdict
+    /// of its allocation function. The gap between this and
+    /// [`census`](RiskReport::census) is what context sensitivity buys.
+    pub fn function_census(&self) -> (usize, usize, usize) {
+        self.call_string_census(1)
     }
 
     /// Builds the runtime prior table: each verdict is keyed by the
@@ -151,7 +239,7 @@ impl RiskReport {
                 EvidenceStore::signature(&site.context, frames) == signature
             });
             if let Some(site) = found {
-                verdicts.push(SiteVerdict {
+                verdicts.push(ContextVerdict {
                     site: site.index,
                     signature: signature.to_owned(),
                     class,
@@ -166,18 +254,29 @@ impl RiskReport {
     }
 }
 
+fn call_string_prefix(signature: &str, k: usize) -> String {
+    let k = k.max(1);
+    let mut frames = signature.split('|');
+    let mut prefix = frames.next().unwrap_or("").to_owned();
+    for frame in frames.take(k - 1) {
+        prefix.push('|');
+        prefix.push_str(frame);
+    }
+    prefix
+}
+
 impl fmt::Display for RiskReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (safe, sus, unknown) = self.census();
         writeln!(
             f,
-            "==== risk report: {} ({} site(s): {safe} proven-safe, {sus} suspicious, {unknown} unknown) ====",
+            "==== risk report: {} ({} context(s): {safe} proven-safe, {sus} suspicious, {unknown} unknown) ====",
             self.app,
             self.verdicts.len()
         )?;
         for v in &self.verdicts {
             let innermost = v.signature.split('|').next().unwrap_or("?");
-            write!(f, "site {:>3} {:<12} {innermost}", v.site, v.class.to_string())?;
+            write!(f, "ctx {:>3} {:<12} {innermost}", v.site, v.class.to_string())?;
             if let Some(w) = &v.witness {
                 write!(f, "  ({w})")?;
             }
@@ -190,7 +289,7 @@ impl fmt::Display for RiskReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::classify::SiteOutcome;
+    use crate::classify::ContextOutcome;
     use csod_ctx::FrameTable;
     use std::sync::Arc;
 
@@ -204,20 +303,51 @@ mod tests {
         RiskReport::new(
             reg,
             vec![
-                SiteOutcome {
+                ContextOutcome {
                     site: 0,
                     class: RiskClass::ProvenSafe,
                     witness: None,
                 },
-                SiteOutcome {
+                ContextOutcome {
                     site: 1,
                     class: RiskClass::Suspicious,
                     witness: Some("access [8, 24) exceeds the 16-byte object".to_owned()),
                 },
-                SiteOutcome {
+                ContextOutcome {
                     site: 2,
                     class: RiskClass::Unknown,
                     witness: Some("widened".to_owned()),
+                },
+            ],
+        )
+    }
+
+    fn helper_registry() -> SiteRegistry {
+        let mut reg = SiteRegistry::new("helpers", Arc::new(FrameTable::new()));
+        reg.add_alloc_site_via("xmalloc.c:100");
+        reg.add_alloc_site_via("xmalloc.c:100");
+        reg.add_alloc_site_via("arena.c:50");
+        reg
+    }
+
+    fn helper_report(reg: &SiteRegistry) -> RiskReport {
+        RiskReport::new(
+            reg,
+            vec![
+                ContextOutcome {
+                    site: 0,
+                    class: RiskClass::ProvenSafe,
+                    witness: None,
+                },
+                ContextOutcome {
+                    site: 1,
+                    class: RiskClass::Suspicious,
+                    witness: Some("planted".to_owned()),
+                },
+                ContextOutcome {
+                    site: 2,
+                    class: RiskClass::ProvenSafe,
+                    witness: None,
                 },
             ],
         )
@@ -231,6 +361,53 @@ mod tests {
         assert_eq!(r.class_of(1), RiskClass::Suspicious);
         // Uncovered sites default to Unknown: no claim, no boost.
         assert_eq!(r.class_of(99), RiskClass::Unknown);
+    }
+
+    #[test]
+    fn context_lookup_is_exact_first() {
+        let reg = registry();
+        let r = report(&reg);
+        assert_eq!(
+            r.class_of_context(&r.verdicts[0].signature),
+            RiskClass::ProvenSafe
+        );
+        assert_eq!(
+            r.class_of_context(&r.verdicts[1].signature),
+            RiskClass::Suspicious
+        );
+    }
+
+    #[test]
+    fn unseen_context_fallback_is_sound() {
+        let reg = helper_registry();
+        let r = helper_report(&reg);
+        // An unseen context through the helper with a suspicious caller
+        // falls back to suspicious — but never to proven-safe.
+        let helper_frame = r.verdicts[0].signature.split('|').next().unwrap();
+        let unseen = format!("{helper_frame}|helpers/caller/new.c:999|helpers/main.c:42");
+        assert_eq!(r.class_of_context(&unseen), RiskClass::Suspicious);
+        // An unseen context through a clean function is unknown (it was
+        // never analyzed), not proven-safe.
+        let clean_frame = r.verdicts[2].signature.split('|').next().unwrap();
+        let unseen = format!("{clean_frame}|helpers/caller/new.c:999|helpers/main.c:42");
+        assert_eq!(r.class_of_context(&unseen), RiskClass::Unknown);
+        // A fully alien signature is unknown.
+        assert_eq!(r.class_of_context("no/such.c:1|main.c:1"), RiskClass::Unknown);
+    }
+
+    #[test]
+    fn call_string_views_interpolate_between_function_and_context() {
+        let reg = helper_registry();
+        let r = helper_report(&reg);
+        // Full context sensitivity: 2 safe, 1 suspicious.
+        assert_eq!(r.census(), (2, 1, 0));
+        // k = 1 merges both xmalloc contexts under the helper's worst.
+        assert_eq!(r.function_census(), (1, 2, 0));
+        assert_eq!(r.call_string_classes(1).len(), 2);
+        // k = 2 separates them again (the caller frame distinguishes).
+        assert_eq!(r.call_string_census(2), (2, 1, 0));
+        // Huge k degenerates to the exact census.
+        assert_eq!(r.call_string_census(64), r.census());
     }
 
     #[test]
@@ -290,7 +467,7 @@ mod tests {
     }
 
     #[test]
-    fn display_lists_each_site_once() {
+    fn display_lists_each_context_once() {
         let reg = registry();
         let text = report(&reg).to_string();
         assert!(text.contains("1 proven-safe, 1 suspicious, 1 unknown"));

@@ -1,0 +1,740 @@
+//! Per-function access summaries, the parallel summary worklist, and
+//! the on-disk incremental cache.
+//!
+//! The trace IR's control flow is a *tree*: blocks split only at
+//! `Spawn`, every child thread is spawned exactly once, and there are
+//! no back edges or merge points. With no joins anywhere, a confined
+//! (single-thread) slot's bindings are reproduced exactly by a linear
+//! per-thread scan with strong updates, and a shared slot's sound
+//! binding is the flow-insensitive superset of its generations — both
+//! of which are *local to the slot*. That locality is what this module
+//! exploits: slots are partitioned into **modules** by the allocation
+//! function (innermost frame) their generations funnel through, each
+//! module's statements are classified independently (fanned across OS
+//! threads with the workloads parallel driver), and the per-module
+//! results — raises, interval bounds hull, escape count — are cached on
+//! disk keyed by a structural hash of the module's statement stream.
+//! Re-analyzing after a localized change re-derives only the dirtied
+//! modules.
+//!
+//! Soundness is unaffected by the partition: every statement touching a
+//! module's slots is in that module, modules' slot sets are disjoint,
+//! and the per-module binding rules are exactly the whole-program ones
+//! restricted to the module's slots.
+
+use crate::callgraph::CallGraph;
+use crate::classify::{classify_stmts, fold_raises, BindingRef, ContextOutcome, Raise};
+use crate::cfg::Binding;
+use crate::domain::{Bound, Interval};
+use crate::escape::SlotTable;
+use crate::ir::{AccessRange, GenId, Program, StmtKind};
+use csod_core::RiskClass;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+use std::str::FromStr;
+use workloads::run_parallel;
+
+/// Name of the catch-all module holding slots whose generations come
+/// from more than one allocation function (or from none).
+pub const RESIDUAL_MODULE: &str = "<residual>";
+
+/// One unit of incremental work: the slots funneled through one
+/// allocation function.
+#[derive(Debug, Clone)]
+pub struct ModuleDef {
+    /// The allocation function (innermost frame), or
+    /// [`RESIDUAL_MODULE`].
+    pub function: String,
+    /// The slots the module owns.
+    pub slots: Vec<usize>,
+}
+
+/// The partition of a program's slots into per-function modules.
+#[derive(Debug)]
+pub struct ModulePartition {
+    /// Modules in deterministic (function-name) order; the residual
+    /// module, when non-empty, is included under [`RESIDUAL_MODULE`].
+    pub modules: Vec<ModuleDef>,
+    slot_module: Vec<usize>,
+}
+
+impl ModulePartition {
+    /// Partitions `program`'s slots: a slot belongs to function `F`'s
+    /// module iff every generation ever stored in it allocates through
+    /// `F`; all other slots land in the residual module.
+    pub fn build(program: &Program, slots: &SlotTable, graph: &CallGraph) -> ModulePartition {
+        let mut by_function: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (slot, info) in slots.slots.iter().enumerate() {
+            let mut function: Option<&str> = None;
+            let mut mixed = info.gens.is_empty();
+            for &g in &info.gens {
+                match graph.function_of_site(program.generation(g).site) {
+                    Some(f) if function.is_none() || function == Some(f) => function = Some(f),
+                    _ => {
+                        mixed = true;
+                        break;
+                    }
+                }
+            }
+            let name = match function {
+                Some(f) if !mixed => f,
+                _ => RESIDUAL_MODULE,
+            };
+            by_function.entry(name.to_owned()).or_default().push(slot);
+        }
+        let modules: Vec<ModuleDef> = by_function
+            .into_iter()
+            .map(|(function, slots)| ModuleDef { function, slots })
+            .collect();
+        let mut slot_module = vec![usize::MAX; program.slot_count];
+        for (m, module) in modules.iter().enumerate() {
+            for &slot in &module.slots {
+                slot_module[slot] = m;
+            }
+        }
+        ModulePartition {
+            modules,
+            slot_module,
+        }
+    }
+
+    /// The module owning `slot`, if the slot is used by the program.
+    pub fn module_of_slot(&self, slot: usize) -> Option<usize> {
+        match self.slot_module.get(slot) {
+            Some(&m) if m != usize::MAX => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// The computed summary of one module.
+#[derive(Debug, Clone)]
+pub struct ModuleSummary {
+    /// The module's allocation function.
+    pub function: String,
+    /// Hull of every exact access end the module performs (bytes past
+    /// object base), if it performs any.
+    pub hull: Option<Interval>,
+    /// How many of the module's slots escape their defining thread.
+    pub escaped_slots: usize,
+    /// Classification facts, in program order.
+    pub(crate) raises: Vec<Raise>,
+}
+
+/// What an incremental analysis did: how many modules existed, how many
+/// were reused from the cache, and how many had to be recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeStats {
+    /// Total modules in the partition.
+    pub modules: usize,
+    /// Modules whose cached summary was reused.
+    pub reused: usize,
+    /// Modules recomputed this run.
+    pub computed: usize,
+    /// OS threads the summary worklist fanned across.
+    pub threads: usize,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v).wrapping_mul(FNV_PRIME)
+}
+
+pub(crate) fn hash_str(s: &str) -> u64 {
+    s.bytes().fold(FNV_OFFSET, |h, b| mix(h, u64::from(b)))
+}
+
+/// Streaming structural hash of every module's statement stream.
+///
+/// Positions are module-relative (order is captured by the sequential
+/// mix, never by global indices), so an edit to one function's
+/// statements leaves every other module's hash untouched. Allocation
+/// statements mix in their site's full context signature: a context
+/// whose frames changed dirties its module even if sizes did not.
+fn module_hashes(
+    program: &Program,
+    partition: &ModulePartition,
+    site_sig_hash: &[u64],
+) -> Vec<u64> {
+    let mut hashes = vec![FNV_OFFSET; partition.modules.len()];
+    let mut fold = |module: Option<usize>, thread: usize, words: [u64; 6]| {
+        let Some(m) = module else { return };
+        let mut h = hashes[m];
+        h = mix(h, thread as u64);
+        for w in words {
+            h = mix(h, w);
+        }
+        hashes[m] = h;
+    };
+    for (thread, stmts) in program.threads.iter().enumerate() {
+        for stmt in stmts {
+            match stmt.kind {
+                StmtKind::Alloc { gen } => {
+                    let g = program.generation(gen);
+                    let sig = site_sig_hash.get(g.site).copied().unwrap_or(0);
+                    fold(
+                        partition.module_of_slot(g.slot),
+                        thread,
+                        [1, g.slot as u64, g.site as u64, g.size, sig, 0],
+                    );
+                }
+                StmtKind::Free { slot } => {
+                    fold(
+                        partition.module_of_slot(slot),
+                        thread,
+                        [2, slot as u64, 0, 0, 0, 0],
+                    );
+                }
+                StmtKind::Use {
+                    slot,
+                    range,
+                    token,
+                    kind,
+                    dangling,
+                } => {
+                    let (rtag, a, b) = match range {
+                        AccessRange::Exact { offset, len } => (0u64, offset, len),
+                        AccessRange::FirstWord => (1, 0, 0),
+                        AccessRange::PastEnd => (2, 0, 0),
+                    };
+                    let kd = u64::from(matches!(kind, sim_machine::AccessKind::Write)) << 1
+                        | u64::from(dangling);
+                    fold(
+                        partition.module_of_slot(slot),
+                        thread,
+                        [3, slot as u64, token.0, rtag, a.wrapping_mul(31).wrapping_add(b), kd],
+                    );
+                }
+                // Spawns carry no slot; their effect on bindings is
+                // visible through the thread index of every statement.
+                StmtKind::Spawn { .. } => {}
+            }
+        }
+    }
+    hashes
+}
+
+/// How a module use resolves: confined slots carry their own scan
+/// result, shared slots defer to the per-slot superset binding.
+enum LocalBinding {
+    Confined(Binding),
+    SharedSlot(usize),
+}
+
+/// Summarizes one module: reproduces the whole-program binding rules
+/// restricted to the module's slots (linear scan for confined slots —
+/// exact on the IR's tree CFG — and generation superset for shared
+/// ones), classifies the module's uses, and records the bounds hull
+/// and escape count.
+fn summarize_module(
+    program: &Program,
+    slots: &SlotTable,
+    function: &str,
+    stmts: &[(usize, usize)],
+) -> ModuleSummary {
+    // Superset bindings for the module's shared slots, built once.
+    let mut shared: HashMap<usize, Binding> = HashMap::new();
+    // Flow state for confined slots: present = definitely this
+    // generation, absent = provably empty.
+    let mut state: HashMap<usize, GenId> = HashMap::new();
+    let mut uses: HashMap<(usize, usize), LocalBinding> = HashMap::new();
+    let mut hull: Option<Interval> = None;
+    let mut current_thread = usize::MAX;
+
+    for &(thread, i) in stmts {
+        if thread != current_thread {
+            // Confined slots never cross threads; the spawn edge hands
+            // a child an empty state for every slot confined to it.
+            state.clear();
+            current_thread = thread;
+        }
+        match program.threads[thread][i].kind {
+            StmtKind::Alloc { gen } => {
+                state.insert(program.generation(gen).slot, gen);
+            }
+            StmtKind::Free { slot } => {
+                state.remove(&slot);
+            }
+            StmtKind::Use { slot, range, .. } => {
+                if let AccessRange::Exact { offset, len } = range {
+                    let point = Interval::point(i128::from(offset.saturating_add(len)));
+                    hull = Some(hull.map_or(point, |h| h.join(point)));
+                }
+                let info = slots.slot(slot);
+                let local = if info.shared {
+                    shared.entry(slot).or_insert_with(|| match info.gens.len() {
+                        0 => Binding::None,
+                        1 => Binding::Definite(info.gens[0]),
+                        _ => Binding::Ambiguous(info.gens.clone()),
+                    });
+                    LocalBinding::SharedSlot(slot)
+                } else {
+                    LocalBinding::Confined(match state.get(&slot) {
+                        Some(&g) => Binding::Definite(g),
+                        None => Binding::None,
+                    })
+                };
+                uses.insert((thread, i), local);
+            }
+            StmtKind::Spawn { .. } => {}
+        }
+    }
+
+    let raises = classify_stmts(program, stmts, |t, i| {
+        uses.get(&(t, i)).map(|local| match local {
+            LocalBinding::Confined(b) => BindingRef::from(b),
+            LocalBinding::SharedSlot(slot) => BindingRef::from(&shared[slot]),
+        })
+    });
+    let escaped_slots = shared.len();
+    ModuleSummary {
+        function: function.to_owned(),
+        hull,
+        escaped_slots,
+        raises,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    hash: u64,
+    hull: Option<Interval>,
+    escaped_slots: usize,
+    /// `(class, signature, witness)` triples, program order.
+    raises: Vec<(RiskClass, String, String)>,
+}
+
+/// The on-disk incremental summary cache: one entry per module, keyed
+/// by allocation function and guarded by the module's structural hash.
+/// Raises are stored by *context signature* (never by site index), so
+/// a cache survives registry reshuffles — a signature that no longer
+/// resolves simply dirties its module.
+#[derive(Debug, Default, Clone)]
+pub struct SummaryCache {
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+fn bound_to_str(b: Bound) -> String {
+    match b {
+        Bound::NegInf => "-inf".to_owned(),
+        Bound::PosInf => "+inf".to_owned(),
+        Bound::Finite(v) => v.to_string(),
+    }
+}
+
+fn bound_from_str(s: &str) -> Option<Bound> {
+    match s {
+        "-inf" => Some(Bound::NegInf),
+        "+inf" => Some(Bound::PosInf),
+        _ => s.parse::<i128>().ok().map(Bound::Finite),
+    }
+}
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> SummaryCache {
+        SummaryCache::default()
+    }
+
+    /// Number of cached module summaries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no summaries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Loads a cache written by [`save`](SummaryCache::save). A missing
+    /// file is an empty cache; malformed lines are dropped (a corrupt
+    /// entry merely costs a recomputation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures other than `NotFound`.
+    pub fn load(path: &Path) -> io::Result<SummaryCache> {
+        let text = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut cache = SummaryCache::new();
+        let mut current: Option<(String, CacheEntry)> = None;
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split('\t');
+            match parts.next() {
+                Some("mod") => {
+                    if let Some((function, entry)) = current.take() {
+                        cache.entries.insert(function, entry);
+                    }
+                    let (Some(hash), Some(escaped), Some(lo), Some(hi), Some(w), Some(function)) = (
+                        parts.next(),
+                        parts.next(),
+                        parts.next(),
+                        parts.next(),
+                        parts.next(),
+                        parts.next(),
+                    ) else {
+                        continue;
+                    };
+                    let Ok(hash) = u64::from_str_radix(hash, 16) else {
+                        continue;
+                    };
+                    let Ok(escaped_slots) = escaped.parse::<usize>() else {
+                        continue;
+                    };
+                    let hull = match (bound_from_str(lo), bound_from_str(hi)) {
+                        (Some(lo), Some(hi)) => Some(Interval {
+                            lo,
+                            hi,
+                            widened: w == "w",
+                        }),
+                        _ => None,
+                    };
+                    current = Some((
+                        function.to_owned(),
+                        CacheEntry {
+                            hash,
+                            hull,
+                            escaped_slots,
+                            raises: Vec::new(),
+                        },
+                    ));
+                }
+                Some("r") => {
+                    let Some((_, entry)) = current.as_mut() else {
+                        continue;
+                    };
+                    let (Some(class), Some(sig), Some(witness)) =
+                        (parts.next(), parts.next(), parts.next())
+                    else {
+                        continue;
+                    };
+                    let Ok(class) = RiskClass::from_str(class) else {
+                        continue;
+                    };
+                    entry
+                        .raises
+                        .push((class, sig.to_owned(), witness.to_owned()));
+                }
+                _ => {}
+            }
+        }
+        if let Some((function, entry)) = current.take() {
+            cache.entries.insert(function, entry);
+        }
+        Ok(cache)
+    }
+
+    /// Writes the cache as a line-oriented text file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O failure.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let mut out = String::from("# csod-analyze summary cache v1\n");
+        for (function, entry) in &self.entries {
+            let (lo, hi, w) = match entry.hull {
+                Some(h) => (
+                    bound_to_str(h.lo),
+                    bound_to_str(h.hi),
+                    if h.widened { "w" } else { "-" },
+                ),
+                None => ("-".to_owned(), "-".to_owned(), "-"),
+            };
+            let _ = writeln!(
+                out,
+                "mod\t{:016x}\t{}\t{lo}\t{hi}\t{w}\t{function}",
+                entry.hash, entry.escaped_slots
+            );
+            for (class, sig, witness) in &entry.raises {
+                let _ = writeln!(out, "r\t{class}\t{sig}\t{witness}");
+            }
+        }
+        fs::write(path, out)
+    }
+}
+
+/// Runs the summary stage: partitions slots into per-function modules,
+/// reuses every module whose structural hash matches `cache`, fans the
+/// dirty ones across the parallel worklist, and folds all raises into
+/// per-context outcomes. With `cache = None` every module is computed
+/// (the cold path [`analyze`](crate::analyze) takes); with a cache the
+/// entries are refreshed in place for the caller to persist.
+pub(crate) fn run(
+    program: &Program,
+    slots: &SlotTable,
+    graph: &CallGraph,
+    mut cache: Option<&mut SummaryCache>,
+) -> (Vec<ContextOutcome>, Vec<ModuleSummary>, AnalyzeStats) {
+    let partition = ModulePartition::build(program, slots, graph);
+    let site_sig_hash: Vec<u64> = graph.signatures().iter().map(|s| hash_str(s)).collect();
+    let hashes = module_hashes(program, &partition, &site_sig_hash);
+    let sig_to_site: HashMap<&str, usize> = graph
+        .signatures()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (s.as_str(), i))
+        .collect();
+
+    // Decide per module: reuse from cache or recompute.
+    let mut summaries: Vec<Option<ModuleSummary>> = vec![None; partition.modules.len()];
+    let mut dirty: Vec<usize> = Vec::new();
+    for (m, module) in partition.modules.iter().enumerate() {
+        let cached = cache
+            .as_ref()
+            .and_then(|c| c.entries.get(&module.function))
+            .filter(|e| e.hash == hashes[m]);
+        let resolved = cached.and_then(|entry| {
+            let mut raises = Vec::with_capacity(entry.raises.len());
+            for (class, sig, witness) in &entry.raises {
+                let &site = sig_to_site.get(sig.as_str())?;
+                raises.push(Raise {
+                    site,
+                    class: *class,
+                    witness: witness.clone(),
+                });
+            }
+            Some(ModuleSummary {
+                function: module.function.clone(),
+                hull: entry.hull,
+                escaped_slots: entry.escaped_slots,
+                raises,
+            })
+        });
+        match resolved {
+            Some(summary) => summaries[m] = Some(summary),
+            None => dirty.push(m),
+        }
+    }
+
+    // Materialize statement lists for dirty modules only: on a warm
+    // run this second pass touches just the changed function's slots.
+    let mut is_dirty = vec![false; partition.modules.len()];
+    for &m in &dirty {
+        is_dirty[m] = true;
+    }
+    let mut work: HashMap<usize, Vec<(usize, usize)>> = dirty
+        .iter()
+        .map(|&m| (m, Vec::new()))
+        .collect();
+    if !dirty.is_empty() {
+        for (thread, stmts) in program.threads.iter().enumerate() {
+            for (i, stmt) in stmts.iter().enumerate() {
+                let slot = match stmt.kind {
+                    StmtKind::Alloc { gen } => program.generation(gen).slot,
+                    StmtKind::Free { slot } | StmtKind::Use { slot, .. } => slot,
+                    StmtKind::Spawn { .. } => continue,
+                };
+                if let Some(m) = partition.module_of_slot(slot) {
+                    if is_dirty[m] {
+                        work.get_mut(&m).expect("dirty module").push((thread, i));
+                    }
+                }
+            }
+        }
+    }
+
+    // The parallel worklist: one job per dirty module, deterministic
+    // regardless of thread count (results come back in input order).
+    let inputs: Vec<(usize, Vec<(usize, usize)>)> = dirty
+        .iter()
+        .map(|&m| (m, work.remove(&m).unwrap_or_default()))
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(inputs.len().max(1));
+    let computed = run_parallel(&inputs, threads, |(m, stmts)| {
+        summarize_module(program, slots, &partition.modules[*m].function, stmts)
+    });
+    for ((m, _), summary) in inputs.iter().zip(computed) {
+        summaries[*m] = Some(summary);
+    }
+
+    let summaries: Vec<ModuleSummary> = summaries
+        .into_iter()
+        .map(|s| s.expect("every module summarized"))
+        .collect();
+    let outcomes = fold_raises(
+        program,
+        summaries.iter().flat_map(|s| s.raises.iter().cloned()),
+    );
+
+    if let Some(cache) = cache.as_mut() {
+        cache.entries.clear();
+        for (m, summary) in summaries.iter().enumerate() {
+            let raises = summary
+                .raises
+                .iter()
+                .filter_map(|r| {
+                    graph
+                        .signature_of_site(r.site)
+                        .map(|sig| (r.class, sig.to_owned(), r.witness.clone()))
+                })
+                .collect();
+            cache.entries.insert(
+                summary.function.clone(),
+                CacheEntry {
+                    hash: hashes[m],
+                    hull: summary.hull,
+                    escaped_slots: summary.escaped_slots,
+                    raises,
+                },
+            );
+        }
+    }
+
+    let stats = AnalyzeStats {
+        modules: partition.modules.len(),
+        reused: partition.modules.len() - dirty.len(),
+        computed: dirty.len(),
+        threads,
+    };
+    (outcomes, summaries, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::escape::analyze_slots;
+    use crate::ir::lower;
+    use workloads::SharedHelperApp;
+
+    fn pipeline(app: &SharedHelperApp, dirty: Option<usize>) -> (Vec<ContextOutcome>, AnalyzeStats) {
+        let registry = app.registry();
+        let trace = app.trace(1, dirty);
+        let program = lower(&registry, &trace);
+        let slots = analyze_slots(&program);
+        let graph = CallGraph::build(&registry);
+        let (outcomes, _, stats) = run(&program, &slots, &graph, None);
+        (outcomes, stats)
+    }
+
+    #[test]
+    fn partition_groups_slots_by_allocation_function() {
+        let app = SharedHelperApp::standard();
+        let registry = app.registry();
+        let program = lower(&registry, &app.trace(1, None));
+        let slots = analyze_slots(&program);
+        let graph = CallGraph::build(&registry);
+        let partition = ModulePartition::build(&program, &slots, &graph);
+        // One module per helper; every context keeps its own slot, so
+        // nothing lands in the residual.
+        assert_eq!(partition.modules.len(), app.helpers);
+        for module in &partition.modules {
+            assert_ne!(module.function, RESIDUAL_MODULE);
+            assert_eq!(module.slots.len(), app.contexts_per_helper);
+        }
+    }
+
+    #[test]
+    fn module_hash_moves_only_for_the_dirtied_function() {
+        let app = SharedHelperApp::standard();
+        let registry = app.registry();
+        let graph = CallGraph::build(&registry);
+        let site_sig_hash: Vec<u64> = graph.signatures().iter().map(|s| hash_str(s)).collect();
+        let hash_all = |dirty: Option<usize>| {
+            let program = lower(&registry, &app.trace(1, dirty));
+            let slots = analyze_slots(&program);
+            let partition = ModulePartition::build(&program, &slots, &graph);
+            let hashes = module_hashes(&program, &partition, &site_sig_hash);
+            partition
+                .modules
+                .iter()
+                .map(|m| m.function.clone())
+                .zip(hashes)
+                .collect::<BTreeMap<String, u64>>()
+        };
+        let clean = hash_all(None);
+        let dirty = hash_all(Some(2));
+        let changed: Vec<&String> = clean
+            .iter()
+            .filter(|(f, h)| dirty.get(*f) != Some(h))
+            .map(|(f, _)| f)
+            .collect();
+        assert_eq!(changed.len(), 1, "exactly one module dirtied: {changed:?}");
+        assert!(changed[0].contains("helper_2"));
+    }
+
+    #[test]
+    fn summaries_flag_exactly_the_planted_context() {
+        let app = SharedHelperApp::standard();
+        let (outcomes, stats) = pipeline(&app, None);
+        assert_eq!(stats.modules, app.helpers);
+        assert_eq!(stats.computed, app.helpers);
+        for outcome in &outcomes {
+            let expected = if outcome.site == app.bug_site() {
+                RiskClass::Suspicious
+            } else {
+                RiskClass::ProvenSafe
+            };
+            assert_eq!(outcome.class, expected, "context {}", outcome.site);
+        }
+    }
+
+    #[test]
+    fn cache_round_trips_and_reuses_clean_modules() {
+        let app = SharedHelperApp::standard();
+        let registry = app.registry();
+        let graph = CallGraph::build(&registry);
+        let dir = std::env::temp_dir().join("csod-analyze-summary-cache-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("summaries.tsv");
+
+        let run_with = |cache: &mut SummaryCache, dirty: Option<usize>| {
+            let program = lower(&registry, &app.trace(1, dirty));
+            let slots = analyze_slots(&program);
+            run(&program, &slots, &graph, Some(cache))
+        };
+
+        let mut cache = SummaryCache::new();
+        let (cold_out, _, cold) = run_with(&mut cache, None);
+        assert_eq!(cold.computed, app.helpers);
+        cache.save(&path).unwrap();
+
+        // Warm, unchanged: everything reused, verdicts identical.
+        let mut cache = SummaryCache::load(&path).unwrap();
+        assert_eq!(cache.len(), app.helpers);
+        let (warm_out, _, warm) = run_with(&mut cache, None);
+        assert_eq!(warm.reused, app.helpers);
+        assert_eq!(warm.computed, 0);
+        assert_eq!(cold_out.len(), warm_out.len());
+        for (a, b) in cold_out.iter().zip(&warm_out) {
+            assert_eq!(a.class, b.class, "context {}", a.site);
+        }
+
+        // Warm after a one-function change: only that module recomputes.
+        let (_, _, incr) = run_with(&mut cache, Some(3));
+        assert_eq!(incr.computed, 1);
+        assert_eq!(incr.reused, app.helpers - 1);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_cache_lines_only_cost_recomputation() {
+        let dir = std::env::temp_dir().join("csod-analyze-summary-cache-corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.tsv");
+        fs::write(
+            &path,
+            "mod\tnothex\t0\t-\t-\t-\tf\nr\tsuspicious\tsig\tw\nmod\t00ff\tzero\t-\t-\t-\tg\ngarbage\n",
+        )
+        .unwrap();
+        let cache = SummaryCache::load(&path).unwrap();
+        assert!(cache.is_empty());
+        assert!(SummaryCache::load(&dir.join("missing.tsv")).unwrap().is_empty());
+        fs::remove_file(&path).ok();
+    }
+}

@@ -28,6 +28,11 @@ pub struct BudgetPolicy {
     /// generation moves the scale, in ppm (1_000_000 jumps straight to
     /// the target; smaller values smooth the descent).
     pub smoothing_ppm: u32,
+    /// Ceiling on the sampling relief granted for statically
+    /// proven-safe contexts, in ppm: even a fully-proven application
+    /// keeps at least `PPM_SCALE - max_static_relief_ppm` of its nominal
+    /// sampling (the proof held for the analyzed version, not forever).
+    pub max_static_relief_ppm: u32,
 }
 
 impl Default for BudgetPolicy {
@@ -37,6 +42,7 @@ impl Default for BudgetPolicy {
             min_scale_ppm: PPM_SCALE / 100, // never below 1 % of nominal
             recover_step_ppm: PPM_SCALE / 10,
             smoothing_ppm: PPM_SCALE / 2,
+            max_static_relief_ppm: 3 * (PPM_SCALE / 10), // shed at most 30 %
         }
     }
 }
@@ -46,6 +52,7 @@ impl Default for BudgetPolicy {
 pub struct BudgetCoordinator {
     policy: BudgetPolicy,
     scale_ppm: u32,
+    static_relief_ppm: u32,
     sheds: u64,
     observed: u64,
 }
@@ -56,14 +63,50 @@ impl BudgetCoordinator {
         BudgetCoordinator {
             policy,
             scale_ppm: PPM_SCALE,
+            static_relief_ppm: 0,
             sheds: 0,
             observed: 0,
         }
     }
 
-    /// The current per-worker sampling scale, in ppm of nominal.
+    /// The current per-worker sampling scale, in ppm of nominal,
+    /// *before* static relief — the load-feedback component alone.
     pub fn scale_ppm(&self) -> u32 {
         self.scale_ppm
+    }
+
+    /// Grants sampling relief for static analysis coverage: `safe` of
+    /// `total` contexts were proven safe, so that fraction of the
+    /// nominal watch traffic is provably redundant. Relief is linear in
+    /// the proven fraction, capped at the policy ceiling, and never
+    /// compounds — re-applying replaces the previous grant (a
+    /// re-analysis that proves *less* gives relief back).
+    pub fn apply_static_priors(&mut self, safe: usize, total: usize) {
+        if total == 0 {
+            self.static_relief_ppm = 0;
+            return;
+        }
+        let fraction =
+            (u64::from(PPM_SCALE) * safe.min(total) as u64 / total as u64).min(u64::from(PPM_SCALE));
+        let capped = fraction * u64::from(self.policy.max_static_relief_ppm) / u64::from(PPM_SCALE);
+        self.static_relief_ppm =
+            u32::try_from(capped).unwrap_or(self.policy.max_static_relief_ppm);
+    }
+
+    /// The static relief currently granted, in ppm.
+    pub fn static_relief_ppm(&self) -> u32 {
+        self.static_relief_ppm
+    }
+
+    /// The scale workers actually run at: load feedback with static
+    /// relief applied on top, still floored at `min_scale_ppm`.
+    pub fn worker_scale_ppm(&self) -> u32 {
+        let relieved = u64::from(self.scale_ppm)
+            * u64::from(PPM_SCALE - self.static_relief_ppm.min(PPM_SCALE))
+            / u64::from(PPM_SCALE);
+        u32::try_from(relieved)
+            .unwrap_or(self.scale_ppm)
+            .max(self.policy.min_scale_ppm)
     }
 
     /// Times the scale was shed because a generation blew the budget.
@@ -83,12 +126,17 @@ impl BudgetCoordinator {
         let budget = self.policy.max_reports_per_generation.max(1);
         if reports > budget {
             // Ideal multiplicative target, then smoothed part-way there.
-            let target =
-                (u128::from(self.scale_ppm) * u128::from(budget) / u128::from(reports)) as u64;
+            // `budget < reports` here, so the target is below scale_ppm
+            // and fits comfortably in 64 (and 32) bits.
+            let target = u64::try_from(
+                u128::from(self.scale_ppm) * u128::from(budget) / u128::from(reports),
+            )
+            .unwrap_or(u64::from(PPM_SCALE));
             let gap = u64::from(self.scale_ppm).saturating_sub(target);
             let step = gap * u64::from(self.policy.smoothing_ppm) / u64::from(PPM_SCALE);
             let next = u64::from(self.scale_ppm).saturating_sub(step.max(1));
-            self.scale_ppm = (next as u32).max(self.policy.min_scale_ppm);
+            self.scale_ppm =
+                u32::try_from(next).unwrap_or(PPM_SCALE).max(self.policy.min_scale_ppm);
             self.sheds += 1;
         } else {
             self.scale_ppm = self
@@ -136,6 +184,42 @@ mod tests {
         }
         assert_eq!(b.scale_ppm(), PPM_SCALE, "fully recovered");
         assert_eq!(b.sheds(), 1);
+    }
+
+    #[test]
+    fn static_relief_scales_with_the_proven_fraction_and_is_capped() {
+        let mut b = BudgetCoordinator::new(BudgetPolicy::default());
+        assert_eq!(b.worker_scale_ppm(), PPM_SCALE, "no verdicts, no relief");
+        b.apply_static_priors(512, 1024);
+        assert_eq!(b.static_relief_ppm(), 150_000, "half proven → half the 30% cap");
+        assert_eq!(b.worker_scale_ppm(), 850_000);
+        b.apply_static_priors(1024, 1024);
+        assert_eq!(b.static_relief_ppm(), 300_000, "fully proven → the cap, no further");
+        assert_eq!(b.worker_scale_ppm(), 700_000);
+        // Re-applying with less coverage hands relief back.
+        b.apply_static_priors(0, 1024);
+        assert_eq!(b.worker_scale_ppm(), PPM_SCALE);
+        b.apply_static_priors(5, 0);
+        assert_eq!(b.static_relief_ppm(), 0, "no contexts, no relief");
+        // The load-feedback scale is untouched by relief.
+        assert_eq!(b.scale_ppm(), PPM_SCALE);
+    }
+
+    #[test]
+    fn static_relief_composes_with_shedding_above_the_floor() {
+        let mut b = BudgetCoordinator::new(policy(100));
+        b.apply_static_priors(1024, 1024);
+        b.observe_generation(400);
+        assert_eq!(b.scale_ppm(), 625_000, "shedding math unchanged by relief");
+        assert_eq!(b.worker_scale_ppm(), 437_500, "relief applies on top");
+        for _ in 0..50 {
+            b.observe_generation(400);
+        }
+        assert_eq!(
+            b.worker_scale_ppm(),
+            BudgetPolicy::default().min_scale_ppm,
+            "relief never pushes workers below the floor"
+        );
     }
 
     #[test]

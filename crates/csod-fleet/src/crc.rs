@@ -12,9 +12,12 @@ const TABLE: [u32; 256] = build_table();
 
 const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
-    let mut i = 0;
+    // Parallel counters sidestep any cast: `i` indexes, `seed` is the
+    // byte value the entry is built from.
+    let mut i: usize = 0;
+    let mut seed: u32 = 0;
     while i < 256 {
-        let mut crc = i as u32;
+        let mut crc = seed;
         let mut bit = 0;
         while bit < 8 {
             crc = if crc & 1 != 0 {
@@ -26,6 +29,7 @@ const fn build_table() -> [u32; 256] {
         }
         table[i] = crc;
         i += 1;
+        seed += 1;
     }
     table
 }

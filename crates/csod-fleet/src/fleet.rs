@@ -21,6 +21,7 @@ use crate::budget::{BudgetCoordinator, BudgetPolicy};
 use crate::ingest::Ingestor;
 use crate::journal::PriorsStore;
 use crate::supervisor::{Supervisor, SupervisorPolicy, WorkerHealth};
+use csod_core::RiskClass;
 use csod_rng::{Arc4Random, PPM_SCALE};
 use csod_trace::MetricsRegistry;
 use std::fmt;
@@ -57,6 +58,13 @@ pub struct FleetConfig {
     pub duplicate_line_ppm: u32,
     /// Seed for every injection decision.
     pub seed: u64,
+    /// Static analyzer verdicts to ingest before the first generation,
+    /// as `(context signature, class)` pairs — typically the verdicts
+    /// of a `csod-analyze` [`RiskReport`] keyed by the same signatures
+    /// the journal uses. Proven-safe contexts shed sampling budget;
+    /// suspicious ones are pre-boosted in every worker's seed evidence
+    /// from generation 0, before any trap has fired.
+    pub static_verdicts: Vec<(String, RiskClass)>,
 }
 
 impl FleetConfig {
@@ -82,6 +90,7 @@ impl FleetConfig {
             corrupt_line_ppm: 0,
             duplicate_line_ppm: 0,
             seed: 0xF1EE7,
+            static_verdicts: Vec::new(),
         }
     }
 }
@@ -120,6 +129,13 @@ pub struct FleetOutcome {
     pub final_scale_ppm: u32,
     /// Confirmed overflowing contexts in the durable aggregate.
     pub confirmed_contexts: usize,
+    /// Contexts carrying a static verdict in the durable aggregate.
+    pub static_contexts: usize,
+    /// Statically proven-safe contexts whose proof still stands (no
+    /// trap evidence contradicts them).
+    pub static_safe_contexts: usize,
+    /// Sampling relief granted for static coverage, in ppm.
+    pub static_relief_ppm: u32,
     /// Whether every completed worker run was leak-free.
     pub leak_free: bool,
     /// Whether any worker detected an overflow.
@@ -152,6 +168,15 @@ impl FleetOutcome {
             "csod_fleet_confirmed_contexts",
             self.confirmed_contexts as f64,
         );
+        reg.set_gauge("csod_fleet_static_contexts", self.static_contexts as f64);
+        reg.set_gauge(
+            "csod_fleet_static_safe_contexts",
+            self.static_safe_contexts as f64,
+        );
+        reg.set_gauge(
+            "csod_fleet_static_relief_ppm",
+            f64::from(self.static_relief_ppm),
+        );
         reg
     }
 }
@@ -181,6 +206,11 @@ impl fmt::Display for FleetOutcome {
             f,
             "journal: {} checkpoint(s) ({} failed), {} confirmed context(s)",
             self.journal_checkpoints, self.checkpoint_failures, self.confirmed_contexts
+        )?;
+        writeln!(
+            f,
+            "static: {} verdict(s), {} proven-safe standing, {} ppm sampling relief",
+            self.static_contexts, self.static_safe_contexts, self.static_relief_ppm
         )?;
         write!(
             f,
@@ -230,9 +260,19 @@ impl FleetController {
     ///
     /// Propagates failure to create the fleet directory.
     pub fn new(cfg: FleetConfig) -> io::Result<FleetController> {
-        let store = PriorsStore::open(&cfg.dir)?;
+        let mut store = PriorsStore::open(&cfg.dir)?;
         let supervisor = Supervisor::new(cfg.supervisor, cfg.workers.max(1));
-        let budget = BudgetCoordinator::new(cfg.budget);
+        let mut budget = BudgetCoordinator::new(cfg.budget);
+        // Ingest the static verdicts before generation 0: suspicious
+        // contexts enter every worker's seed evidence immediately, and
+        // standing proven-safe coverage sheds sampling. Trap evidence
+        // already in the durable store wins over any proof (the store
+        // merges worst-wins and `effective_class` enforces it).
+        for (sig, class) in &cfg.static_verdicts {
+            store.observe_static(sig, *class);
+        }
+        let (safe, total) = static_coverage(store.priors());
+        budget.apply_static_priors(safe, total);
         let rng = Arc4Random::from_seed(cfg.seed, 0xF1EE);
         Ok(FleetController {
             cfg,
@@ -333,8 +373,11 @@ impl FleetController {
             journal_checkpoints: sstats.journal_checkpoints,
             checkpoint_failures: self.checkpoint_failures,
             budget_sheds: self.budget.sheds(),
-            final_scale_ppm: self.budget.scale_ppm(),
+            final_scale_ppm: self.budget.worker_scale_ppm(),
             confirmed_contexts: self.store.priors().len(),
+            static_contexts: self.store.priors().static_len(),
+            static_safe_contexts: static_coverage(self.store.priors()).0,
+            static_relief_ppm: self.budget.static_relief_ppm(),
             leak_free,
             detected,
         }
@@ -344,7 +387,7 @@ impl FleetController {
     /// per-worker stream paths, budget-scaled sampling, injected-crash
     /// draws.
     fn schedule(&mut self, generation: u64) -> Vec<WorkerJob> {
-        let scale = self.budget.scale_ppm();
+        let scale = self.budget.worker_scale_ppm();
         let mut jobs = Vec::new();
         for worker in 0..self.cfg.workers.max(1) {
             if !self.supervisor.should_run(worker, generation) {
@@ -415,13 +458,29 @@ impl FleetController {
     }
 }
 
+/// Counts `(standing proven-safe, total)` static verdicts in the
+/// aggregate: a proven-safe verdict stands only while no trap evidence
+/// contradicts it.
+fn static_coverage(priors: &crate::priors::FleetPriors) -> (usize, usize) {
+    let total = priors.static_len();
+    let safe = priors
+        .static_iter()
+        .filter(|(sig, class)| {
+            *class == RiskClass::ProvenSafe
+                && priors.effective_class(sig) == Some(RiskClass::ProvenSafe)
+        })
+        .count();
+    (safe, total)
+}
+
 /// Chops the file at `path` to `cut_ppm` millionths of its length —
 /// mid-line, mid-record, wherever that lands.
 fn truncate_file(path: &Path, cut_ppm: u32) {
     let Ok(bytes) = std::fs::read(path) else {
         return;
     };
-    let keep = (bytes.len() as u64 * u64::from(cut_ppm) / u64::from(PPM_SCALE)) as usize;
+    let scaled = bytes.len() as u64 * u64::from(cut_ppm) / u64::from(PPM_SCALE);
+    let keep = usize::try_from(scaled).unwrap_or(usize::MAX);
     let _ = std::fs::write(path, &bytes[..keep.min(bytes.len())]);
 }
 
@@ -519,6 +578,39 @@ mod tests {
             seed.lines().any(|l| !l.is_empty() && !l.starts_with('#')),
             "generation 1 was seeded with confirmed contexts: {seed}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn static_verdicts_preboost_generation_zero_and_shed_budget() {
+        let dir = fleet_dir("static");
+        let mut cfg = small_fleet(&dir);
+        cfg.generations = 1;
+        cfg.static_verdicts = vec![
+            ("flagged.c:7|driver.c:3|main.c:1".to_owned(), RiskClass::Suspicious),
+            ("proved_a.c:1|main.c:1".to_owned(), RiskClass::ProvenSafe),
+            ("proved_b.c:2|main.c:1".to_owned(), RiskClass::ProvenSafe),
+        ];
+        let mut fleet = FleetController::new(cfg).unwrap();
+        let out = fleet.run();
+        assert_eq!(out.static_contexts, 3);
+        assert_eq!(out.static_safe_contexts, 2);
+        assert!(out.static_relief_ppm > 0, "proven coverage sheds sampling");
+        assert!(out.final_scale_ppm < PPM_SCALE);
+        // The statically suspicious context is in the *generation-0*
+        // seed evidence — boosted before any trap has ever fired.
+        let seed = std::fs::read_to_string(dir.join("evidence-g0-w0.evi")).unwrap();
+        assert!(
+            seed.contains("flagged.c:7|driver.c:3|main.c:1"),
+            "static-suspicious context missing from the first seed: {seed}"
+        );
+        assert!(
+            !seed.contains("proved_a.c:1"),
+            "proven-safe contexts must not be pinned"
+        );
+        // The verdicts are durable: a reopened fleet still has them.
+        let reopened = FleetController::new(small_fleet(&dir)).unwrap();
+        assert_eq!(reopened.store().priors().static_len(), 3);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

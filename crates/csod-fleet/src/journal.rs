@@ -21,9 +21,13 @@
 //!
 //! Every journal line is `J1 <crc32:08x> <len:06x> <payload>` where the
 //! CRC and length cover the payload bytes. WAL payloads are
-//! `+<count:x>\t<signature>`; checkpoint payloads are the header
-//! `ckpt <epoch:x> <entries:x>`, one `<count:x>\t<signature>` per
-//! context, and the footer `end <entries:x>`.
+//! `+<count:x>\t<signature>` for trap observations and
+//! `=<class>\t<signature>` for static analyzer verdicts; checkpoint
+//! payloads are the header `ckpt <epoch:x> <entries:x>`, one
+//! `<count:x>\t<signature>` (trap) or `=<class>\t<signature>` (static)
+//! body line per context, and the footer `end <entries:x>`. Checkpoints
+//! written before the static evidence class existed simply have no `=`
+//! lines and parse unchanged.
 //!
 //! # Fault handling
 //!
@@ -36,7 +40,8 @@
 
 use crate::crc::crc32;
 use crate::priors::FleetPriors;
-use std::collections::BTreeMap;
+use csod_core::RiskClass;
+use std::str::FromStr as _;
 use std::fmt::Debug;
 use std::fs::OpenOptions;
 use std::io::{self, Write as _};
@@ -213,6 +218,31 @@ impl PriorsStore {
         }
     }
 
+    /// Records a static analyzer verdict for `signature`: updates the
+    /// in-memory aggregate (worst-wins per signature, trap evidence
+    /// always stronger) and appends a `=` WAL frame with the same
+    /// degradation behaviour as [`observe`](PriorsStore::observe).
+    pub fn observe_static(&mut self, signature: &str, class: RiskClass) {
+        let sig = signature.trim();
+        if sig.is_empty() {
+            return;
+        }
+        self.priors.record_static(sig, class);
+        if self.degraded {
+            self.stats.buffered_observations += 1;
+            return;
+        }
+        let frame = frame(&format!("={class}\t{sig}"));
+        let wal = wal_path(&self.dir, self.epoch);
+        match self.append_fully(&wal, frame.as_bytes()) {
+            Ok(()) => self.stats.wal_records_appended += 1,
+            Err(_) => {
+                self.degraded = true;
+                self.stats.buffered_observations += 1;
+            }
+        }
+    }
+
     /// Writes a full snapshot as the new checkpoint (atomic rename),
     /// starts a fresh WAL epoch, and clears any degraded buffering.
     ///
@@ -256,7 +286,7 @@ impl PriorsStore {
         let tmp = self.dir.join("priors.ckpt.tmp");
         let prev = self.dir.join("priors.ckpt.prev");
         let current_exists = self.media.read(&ckpt).is_ok();
-        let mut adopted: Option<(u64, BTreeMap<String, u64>)> = None;
+        let mut adopted: Option<(u64, FleetPriors)> = None;
         for (i, candidate) in [&ckpt, &tmp, &prev].into_iter().enumerate() {
             if let Ok(bytes) = self.media.read(candidate) {
                 if let Some(parsed) = parse_checkpoint(&bytes) {
@@ -270,17 +300,18 @@ impl PriorsStore {
                 }
             }
         }
-        let (epoch, entries) = adopted.unwrap_or((0, BTreeMap::new()));
+        let (epoch, entries) = adopted.unwrap_or((0, FleetPriors::new()));
         self.epoch = epoch;
-        for (sig, count) in entries {
-            self.priors.observe(&sig, count);
-        }
+        self.priors.merge(&entries);
         // Replay the adopted epoch's WAL up to the first bad frame.
         if let Ok(bytes) = self.media.read(&wal_path(&self.dir, epoch)) {
             let (payloads, rejected) = parse_frames(&bytes);
             for payload in payloads {
                 if let Some((count, sig)) = parse_wal_payload(&payload) {
                     self.priors.observe(&sig, count);
+                    self.stats.wal_records_recovered += 1;
+                } else if let Some((class, sig)) = parse_static_payload(&payload) {
+                    self.priors.record_static(&sig, class);
                     self.stats.wal_records_recovered += 1;
                 } else {
                     self.stats.wal_tail_rejected += 1;
@@ -407,18 +438,22 @@ fn parse_frame(line: &str) -> Option<String> {
 
 /// Renders a full checkpoint body for `epoch`.
 fn render_checkpoint(epoch: u64, priors: &FleetPriors) -> String {
+    let entries = priors.len() + priors.static_len();
     let mut out = String::new();
-    out.push_str(&frame(&format!("ckpt {epoch:x} {:x}", priors.len())));
+    out.push_str(&frame(&format!("ckpt {epoch:x} {entries:x}")));
     for (sig, count) in priors.iter() {
         out.push_str(&frame(&format!("{count:x}\t{sig}")));
     }
-    out.push_str(&frame(&format!("end {:x}", priors.len())));
+    for (sig, class) in priors.static_iter() {
+        out.push_str(&frame(&format!("={class}\t{sig}")));
+    }
+    out.push_str(&frame(&format!("end {entries:x}")));
     out
 }
 
 /// Parses a checkpoint body; `None` unless every frame is valid, the
 /// header and footer agree, and the entry count matches.
-fn parse_checkpoint(bytes: &[u8]) -> Option<(u64, BTreeMap<String, u64>)> {
+fn parse_checkpoint(bytes: &[u8]) -> Option<(u64, FleetPriors)> {
     let (payloads, rejected) = parse_frames(bytes);
     if rejected > 0 || payloads.len() < 2 {
         return None;
@@ -433,13 +468,29 @@ fn parse_checkpoint(bytes: &[u8]) -> Option<(u64, BTreeMap<String, u64>)> {
     if declared != foot_count || body.len() != declared {
         return None;
     }
-    let mut entries = BTreeMap::new();
+    let mut entries = FleetPriors::new();
     for line in body {
+        if let Some((class, sig)) = parse_static_payload(line) {
+            entries.record_static(&sig, class);
+            continue;
+        }
         let (count_hex, sig) = line.split_once('\t')?;
         let count = u64::from_str_radix(count_hex, 16).ok()?;
-        entries.insert(sig.to_owned(), count);
+        entries.observe(sig, count);
     }
     Some((epoch, entries))
+}
+
+/// Parses a static-verdict payload `=<class>\t<sig>` (WAL or
+/// checkpoint body).
+fn parse_static_payload(payload: &str) -> Option<(RiskClass, String)> {
+    let rest = payload.strip_prefix('=')?;
+    let (class, sig) = rest.split_once('\t')?;
+    let class = RiskClass::from_str(class).ok()?;
+    if sig.is_empty() {
+        return None;
+    }
+    Some((class, sig.to_owned()))
 }
 
 /// Parses a WAL payload `+<count:x>\t<sig>`.
@@ -495,6 +546,49 @@ mod tests {
         assert_eq!(store.epoch(), 1);
         assert_eq!(store.priors().count("x.c:1"), 3, "from the checkpoint");
         assert_eq!(store.priors().count("y.c:2"), 1, "from the epoch-1 WAL");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn static_verdicts_survive_wal_and_checkpoint() {
+        let dir = tmpdir("static");
+        {
+            let mut store = PriorsStore::open(&dir).unwrap();
+            store.observe_static("safe.c:1|main.c:1", RiskClass::ProvenSafe);
+            store.observe_static("sus.c:2|main.c:1", RiskClass::Suspicious);
+            store.observe("trap.c:3|main.c:1", 1);
+            // No checkpoint: the WAL alone must carry all three.
+        }
+        {
+            let store = PriorsStore::open(&dir).unwrap();
+            assert_eq!(
+                store.priors().static_class("safe.c:1|main.c:1"),
+                Some(RiskClass::ProvenSafe)
+            );
+            assert_eq!(
+                store.priors().static_class("sus.c:2|main.c:1"),
+                Some(RiskClass::Suspicious)
+            );
+            assert_eq!(store.priors().count("trap.c:3|main.c:1"), 1);
+            assert_eq!(store.stats().wal_records_recovered, 3);
+        }
+        {
+            // Through a checkpoint, then a trap that falsifies the proof.
+            let mut store = PriorsStore::open(&dir).unwrap();
+            store.checkpoint().unwrap();
+            store.observe("safe.c:1|main.c:1", 1);
+        }
+        let store = PriorsStore::open(&dir).unwrap();
+        assert_eq!(
+            store.priors().static_class("safe.c:1|main.c:1"),
+            Some(RiskClass::ProvenSafe),
+            "the static verdict itself is preserved"
+        );
+        assert_eq!(
+            store.priors().effective_class("safe.c:1|main.c:1"),
+            Some(RiskClass::Suspicious),
+            "but trap evidence wins after recovery too"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

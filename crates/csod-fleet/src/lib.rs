@@ -26,6 +26,8 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(clippy::cast_possible_truncation)]
+#![warn(clippy::missing_panics_doc)]
 #![warn(clippy::perf)]
 
 pub mod budget;

@@ -17,11 +17,29 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-/// Aggregated overflow evidence for a fleet: confirmed context
-/// signatures and how many unique reports confirmed each.
+/// Aggregated overflow evidence for a fleet: trap-confirmed context
+/// signatures with their report counts, plus static analyzer verdicts
+/// ingested as a second, weaker evidence class.
+///
+/// The two classes compose under one soundness rule: **runtime trap
+/// evidence always wins**. A context with any confirmed report is
+/// suspicious no matter what the analyzer proved (the proof was for a
+/// version or an input distribution the fleet has since falsified), and
+/// a static `proven-safe` verdict can therefore never suppress a pinned
+/// context. Static `suspicious` verdicts only ever add boost.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetPriors {
     contexts: BTreeMap<String, u64>,
+    static_classes: BTreeMap<String, RiskClass>,
+}
+
+/// Severity order for worst-wins merging of static verdicts.
+fn rank(class: RiskClass) -> u8 {
+    match class {
+        RiskClass::ProvenSafe => 0,
+        RiskClass::Unknown => 1,
+        RiskClass::Suspicious => 2,
+    }
 }
 
 impl FleetPriors {
@@ -68,10 +86,64 @@ impl FleetPriors {
         self.contexts.is_empty()
     }
 
-    /// Merges another aggregate into this one (counts add).
+    /// Records a static analyzer verdict for `signature`. Conflicting
+    /// verdicts for one signature merge worst-wins (re-analysis may only
+    /// move a context toward suspicious). Returns `true` when the
+    /// signature was new to the static class.
+    pub fn record_static(&mut self, signature: &str, class: RiskClass) -> bool {
+        let sig = signature.trim();
+        if sig.is_empty() {
+            return false;
+        }
+        match self.static_classes.entry(sig.to_owned()) {
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(class);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(mut e) => {
+                if rank(class) > rank(*e.get()) {
+                    e.insert(class);
+                }
+                false
+            }
+        }
+    }
+
+    /// The recorded static verdict for `signature`, ignoring trap
+    /// evidence.
+    pub fn static_class(&self, signature: &str) -> Option<RiskClass> {
+        self.static_classes.get(signature).copied()
+    }
+
+    /// The *effective* class of `signature` with the soundness rule
+    /// applied: any trap evidence makes the context suspicious,
+    /// regardless of static verdicts; otherwise the static verdict (if
+    /// any) stands.
+    pub fn effective_class(&self, signature: &str) -> Option<RiskClass> {
+        if self.contains(signature) {
+            return Some(RiskClass::Suspicious);
+        }
+        self.static_class(signature)
+    }
+
+    /// Number of contexts carrying a static verdict.
+    pub fn static_len(&self) -> usize {
+        self.static_classes.len()
+    }
+
+    /// Static verdicts in sorted order.
+    pub fn static_iter(&self) -> impl Iterator<Item = (&str, RiskClass)> {
+        self.static_classes.iter().map(|(s, &c)| (s.as_str(), c))
+    }
+
+    /// Merges another aggregate into this one (trap counts add, static
+    /// verdicts merge worst-wins).
     pub fn merge(&mut self, other: &FleetPriors) {
         for (sig, count) in &other.contexts {
             *self.contexts.entry(sig.clone()).or_insert(0) += count;
+        }
+        for (sig, &class) in &other.static_classes {
+            self.record_static(sig, class);
         }
     }
 
@@ -87,19 +159,37 @@ impl FleetPriors {
         store
     }
 
-    /// Writes the aggregate as an evidence file at `path`.
+    /// The *seed* evidence for a new worker: every trap-confirmed
+    /// context plus every statically suspicious one. Static-suspicious
+    /// contexts are thereby boosted on a worker's **first** generation,
+    /// before any trap has ever fired; static-proven-safe verdicts never
+    /// remove a trap-confirmed context from the seed.
+    pub fn seed_evidence_store(&self) -> EvidenceStore {
+        let mut store = self.to_evidence_store();
+        for (sig, class) in &self.static_classes {
+            if *class == RiskClass::Suspicious {
+                store.insert_signature(sig);
+            }
+        }
+        store
+    }
+
+    /// Writes the seed evidence (trap-confirmed ∪ static-suspicious) as
+    /// an evidence file at `path`.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from creating or writing the file.
     pub fn write_evidence_file(&self, path: &Path) -> io::Result<()> {
-        self.to_evidence_store().save(path)
+        self.seed_evidence_store().save(path)
     }
 
-    /// Builds [`AnalysisPriors`] for a new process: every site whose
-    /// full context signature is confirmed here is classed
-    /// [`RiskClass::Suspicious`], so the sampler starts it boosted even
-    /// before the evidence path pins it outright.
+    /// Builds [`AnalysisPriors`] for a new process from the effective
+    /// classes: trap-confirmed contexts are [`RiskClass::Suspicious`]
+    /// (boosted before the evidence path even pins them), and contexts
+    /// carrying only a static verdict inherit it — which means
+    /// [`RiskClass::ProvenSafe`] starts at the probability floor *only*
+    /// when zero trap evidence exists for the signature.
     pub fn analysis_priors<'a>(
         &self,
         sites: impl IntoIterator<Item = (ContextKey, &'a CallingContext)>,
@@ -107,7 +197,7 @@ impl FleetPriors {
     ) -> AnalysisPriors {
         AnalysisPriors::from_classes(sites.into_iter().filter_map(|(key, ctx)| {
             let sig = EvidenceStore::signature(ctx, frames);
-            self.contains(&sig).then_some((key, RiskClass::Suspicious))
+            self.effective_class(&sig).map(|class| (key, class))
         }))
     }
 }
@@ -149,6 +239,66 @@ mod tests {
         p.observe(&EvidenceStore::signature(&ctx, &frames), 1);
         let store = p.to_evidence_store();
         assert!(store.contains(&ctx, &frames));
+    }
+
+    #[test]
+    fn trap_evidence_always_beats_static_proven_safe() {
+        let mut p = FleetPriors::new();
+        p.record_static("hot.c:1|main.c:1", RiskClass::ProvenSafe);
+        assert_eq!(
+            p.effective_class("hot.c:1|main.c:1"),
+            Some(RiskClass::ProvenSafe)
+        );
+        p.observe("hot.c:1|main.c:1", 1);
+        assert_eq!(
+            p.effective_class("hot.c:1|main.c:1"),
+            Some(RiskClass::Suspicious),
+            "a confirmed trap falsifies the static proof"
+        );
+        // Recording the static verdict again cannot undo it.
+        p.record_static("hot.c:1|main.c:1", RiskClass::ProvenSafe);
+        assert_eq!(
+            p.effective_class("hot.c:1|main.c:1"),
+            Some(RiskClass::Suspicious)
+        );
+    }
+
+    #[test]
+    fn static_verdicts_merge_worst_wins() {
+        let mut p = FleetPriors::new();
+        assert!(p.record_static("a.c:1", RiskClass::ProvenSafe));
+        assert!(!p.record_static("a.c:1", RiskClass::Suspicious));
+        assert_eq!(p.static_class("a.c:1"), Some(RiskClass::Suspicious));
+        // ...and never back down.
+        p.record_static("a.c:1", RiskClass::ProvenSafe);
+        assert_eq!(p.static_class("a.c:1"), Some(RiskClass::Suspicious));
+        assert!(!p.record_static("  ", RiskClass::Suspicious));
+        assert_eq!(p.static_len(), 1);
+
+        let mut q = FleetPriors::new();
+        q.record_static("a.c:1", RiskClass::Unknown);
+        q.record_static("b.c:2", RiskClass::ProvenSafe);
+        p.merge(&q);
+        assert_eq!(p.static_class("a.c:1"), Some(RiskClass::Suspicious));
+        assert_eq!(p.static_class("b.c:2"), Some(RiskClass::ProvenSafe));
+    }
+
+    #[test]
+    fn seed_evidence_carries_static_suspicious_contexts() {
+        let frames = FrameTable::new();
+        let trapped = CallingContext::from_locations(&frames, ["trap.c:1", "main.c:1"]);
+        let flagged = CallingContext::from_locations(&frames, ["flag.c:2", "main.c:1"]);
+        let proven = CallingContext::from_locations(&frames, ["safe.c:3", "main.c:1"]);
+        let mut p = FleetPriors::new();
+        p.observe(&EvidenceStore::signature(&trapped, &frames), 1);
+        p.record_static(&EvidenceStore::signature(&flagged, &frames), RiskClass::Suspicious);
+        p.record_static(&EvidenceStore::signature(&proven, &frames), RiskClass::ProvenSafe);
+        let seed = p.seed_evidence_store();
+        assert!(seed.contains(&trapped, &frames));
+        assert!(seed.contains(&flagged, &frames), "pre-boosted before any trap");
+        assert!(!seed.contains(&proven, &frames));
+        // The trap-only store is unchanged by static verdicts.
+        assert!(!p.to_evidence_store().contains(&flagged, &frames));
     }
 
     #[test]

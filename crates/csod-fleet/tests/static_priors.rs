@@ -1,0 +1,195 @@
+//! Property tests for the two evidence classes the fleet priors hold:
+//! runtime trap counts and static analysis verdicts. The soundness
+//! obligations they pin down:
+//!
+//! 1. Trap evidence always wins: no sequence of static verdicts — in
+//!    any order, including after the trap — can make a context that
+//!    trapped look anything but `Suspicious`.
+//! 2. Static `Suspicious` verdicts only ever *add* pinned contexts to
+//!    the seed evidence; static `ProvenSafe` never removes one.
+//! 3. The journal (WAL frames plus checkpoints) round-trips both
+//!    evidence classes exactly, so a crash between generations cannot
+//!    silently drop a static verdict or downgrade a trap.
+//!
+//! The vendored proptest shim samples plain tuples, so each op is an
+//! encoded `(kind, signature index, magnitude)` triple decoded by
+//! [`apply`].
+
+use csod_core::RiskClass;
+use csod_fleet::journal::PriorsStore;
+use csod_fleet::FleetPriors;
+use proptest::prelude::*;
+
+/// One mutation against the priors, drawn from both evidence classes.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Trap { sig: usize, count: u64 },
+    Static { sig: usize, class: RiskClass },
+}
+
+const SIG_POOL: usize = 8;
+
+fn sig_name(i: usize) -> String {
+    format!("fn_{i}|caller_{}", i % 3)
+}
+
+/// Decodes a sampled `(kind, sig, magnitude)` triple: kind 0 is a trap
+/// (magnitude = count), kinds 1-3 are static verdicts (one per class).
+fn decode(kind: u8, sig: usize, magnitude: u64) -> Op {
+    match kind {
+        0 => Op::Trap { sig, count: magnitude.max(1) },
+        1 => Op::Static { sig, class: RiskClass::ProvenSafe },
+        2 => Op::Static { sig, class: RiskClass::Unknown },
+        _ => Op::Static { sig, class: RiskClass::Suspicious },
+    }
+}
+
+fn apply(priors: &mut FleetPriors, op: Op) {
+    match op {
+        Op::Trap { sig, count } => {
+            priors.observe(&sig_name(sig), count);
+        }
+        Op::Static { sig, class } => {
+            priors.record_static(&sig_name(sig), class);
+        }
+    }
+}
+
+fn build(ops: &[(u8, usize, u64)]) -> FleetPriors {
+    let mut priors = FleetPriors::new();
+    for &(kind, sig, magnitude) in ops {
+        apply(&mut priors, decode(kind, sig, magnitude));
+    }
+    priors
+}
+
+proptest! {
+    /// Any context with at least one trap reports `Suspicious` as its
+    /// effective class, no matter which static verdicts landed before
+    /// or after — static `ProvenSafe` must never mask a live trap.
+    #[test]
+    fn trap_evidence_is_never_masked_by_static_verdicts(
+        ops in proptest::collection::vec((0u8..4, 0usize..SIG_POOL, 1u64..50), 1..60)
+    ) {
+        let priors = build(&ops);
+        for i in 0..SIG_POOL {
+            let sig = sig_name(i);
+            if priors.contains(&sig) {
+                prop_assert_eq!(
+                    priors.effective_class(&sig),
+                    Some(RiskClass::Suspicious),
+                    "trapped context {} reported a non-suspicious class",
+                    sig
+                );
+            }
+        }
+    }
+
+    /// The generation-zero seed evidence is monotone: every trapped
+    /// context stays pinned, every static-`Suspicious` context is
+    /// pre-boosted, and static `ProvenSafe` verdicts remove nothing.
+    #[test]
+    fn seed_evidence_is_monotone_under_static_verdicts(
+        ops in proptest::collection::vec((0u8..4, 0usize..SIG_POOL, 1u64..50), 1..60)
+    ) {
+        let priors = build(&ops);
+        let seed = priors.seed_evidence_store();
+        for i in 0..SIG_POOL {
+            let sig = sig_name(i);
+            if priors.contains(&sig) {
+                prop_assert!(seed.contains_signature(&sig), "trap evidence dropped: {}", sig);
+            }
+            if priors.static_class(&sig) == Some(RiskClass::Suspicious) {
+                prop_assert!(seed.contains_signature(&sig), "static suspicious not seeded: {}", sig);
+            }
+            if seed.contains_signature(&sig) {
+                prop_assert!(
+                    priors.contains(&sig)
+                        || priors.static_class(&sig) == Some(RiskClass::Suspicious),
+                    "seed pinned a context with no supporting evidence: {}",
+                    sig
+                );
+            }
+        }
+    }
+
+    /// Merging two priors (the fleet's cross-run aggregation path) is
+    /// worst-wins per class and never loses a trap or a verdict.
+    #[test]
+    fn merge_preserves_both_evidence_classes(
+        left in proptest::collection::vec((0u8..4, 0usize..SIG_POOL, 1u64..50), 1..40),
+        right in proptest::collection::vec((0u8..4, 0usize..SIG_POOL, 1u64..50), 1..40)
+    ) {
+        let a = build(&left);
+        let b = build(&right);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        for i in 0..SIG_POOL {
+            let sig = sig_name(i);
+            prop_assert_eq!(merged.count(&sig), a.count(&sig) + b.count(&sig));
+            let rank = |c: Option<RiskClass>| match c {
+                None => -1i8,
+                Some(RiskClass::ProvenSafe) => 0,
+                Some(RiskClass::Unknown) => 1,
+                Some(RiskClass::Suspicious) => 2,
+            };
+            prop_assert_eq!(
+                rank(merged.static_class(&sig)),
+                rank(a.static_class(&sig)).max(rank(b.static_class(&sig))),
+                "merged static class is not worst-wins for {}",
+                sig
+            );
+            if a.contains(&sig) || b.contains(&sig) {
+                prop_assert_eq!(merged.effective_class(&sig), Some(RiskClass::Suspicious));
+            }
+        }
+    }
+
+    /// WAL + checkpoint + recovery reproduce the exact same effective
+    /// class and trap count for every context, for any op sequence and
+    /// any checkpoint placement (`checkpoint_at >= ops.len()` means no
+    /// checkpoint, so recovery replays pure WAL).
+    #[test]
+    fn journal_round_trips_both_evidence_classes(
+        ops in proptest::collection::vec((0u8..4, 0usize..SIG_POOL, 1u64..50), 1..40),
+        checkpoint_at in 0usize..48
+    ) {
+        let dir = std::env::temp_dir().join(format!(
+            "csod-prop-journal-{}-{}-{}",
+            std::process::id(),
+            ops.len(),
+            checkpoint_at
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = PriorsStore::open(&dir).unwrap();
+        for (i, &(kind, sig, magnitude)) in ops.iter().enumerate() {
+            match decode(kind, sig, magnitude) {
+                Op::Trap { sig, count } => store.observe(&sig_name(sig), count),
+                Op::Static { sig, class } => store.observe_static(&sig_name(sig), class),
+            }
+            if checkpoint_at == i {
+                store.checkpoint().unwrap();
+            }
+        }
+        let expected = store.priors().clone();
+        drop(store);
+
+        let recovered = PriorsStore::open(&dir).unwrap();
+        for i in 0..SIG_POOL {
+            let sig = sig_name(i);
+            prop_assert_eq!(
+                recovered.priors().count(&sig),
+                expected.count(&sig),
+                "trap count diverged after recovery for {}",
+                sig
+            );
+            prop_assert_eq!(
+                recovered.priors().effective_class(&sig),
+                expected.effective_class(&sig),
+                "effective class diverged after recovery for {}",
+                sig
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,6 +17,7 @@ mod fuzz;
 mod parallel;
 mod perf;
 mod scenario;
+mod shared;
 mod sites;
 mod trace;
 
@@ -27,5 +28,6 @@ pub use parallel::{run_chaos_fleet, run_parallel, run_traces_parallel};
 pub use fuzz::{FuzzBug, FuzzWorkload};
 pub use perf::PerfApp;
 pub use scenario::ScenarioBuilder;
+pub use shared::SharedHelperApp;
 pub use sites::{AccessSite, AllocSite, SiteRegistry};
 pub use trace::{Event, TraceThread};

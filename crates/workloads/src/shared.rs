@@ -1,0 +1,232 @@
+//! A workload built around *shared allocation helpers* — the shape that
+//! separates a per-site (per-function) analysis from a context-sensitive
+//! one.
+//!
+//! Real applications funnel most allocations through a handful of
+//! wrappers (`xmalloc`, arena constructors, slab refills); the calling
+//! context, not the wrapper, decides the object's fate. This model
+//! realizes that: `helpers` allocation functions, each invoked from
+//! `contexts_per_helper` distinct caller chains, with exactly one
+//! calling context (through one helper) planted to overflow. An
+//! analysis that keys verdicts by allocation function must condemn
+//! every context through the buggy helper; one that keys by calling
+//! context condemns just the planted one and proves its siblings safe —
+//! that delta is the whole point of the context-sensitive pass.
+
+use crate::sites::SiteRegistry;
+use crate::trace::Event;
+use csod_ctx::FrameTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sim_machine::AccessKind;
+use std::sync::Arc;
+
+/// A shared-allocation-helper application model.
+#[derive(Debug, Clone)]
+pub struct SharedHelperApp {
+    /// Application/module name.
+    pub name: &'static str,
+    /// Number of shared allocation helper functions.
+    pub helpers: usize,
+    /// Distinct calling contexts funneled through each helper.
+    pub contexts_per_helper: usize,
+    /// Allocations each context performs (into its own slot, reused).
+    pub allocs_per_context: u32,
+    /// In-bounds accesses per allocation.
+    pub accesses_per_alloc: u32,
+    /// Spawn a reader thread that touches every slot, making slots
+    /// escape — this forces the analyzer through its summarized
+    /// (interval-join) path instead of the cheap definite one.
+    pub cross_thread_readers: bool,
+    /// The helper whose planted context overflows.
+    pub bug_helper: usize,
+    /// Which of that helper's contexts overflows.
+    pub bug_context: usize,
+}
+
+impl SharedHelperApp {
+    /// The corpus-sized instance the golden census and self-tests use:
+    /// 4 helpers × 6 contexts, cross-thread traffic on.
+    pub fn standard() -> SharedHelperApp {
+        SharedHelperApp {
+            name: "sharedlib",
+            helpers: 4,
+            contexts_per_helper: 6,
+            allocs_per_context: 4,
+            accesses_per_alloc: 3,
+            cross_thread_readers: true,
+            bug_helper: 1,
+            bug_context: 2,
+        }
+    }
+
+    /// A bench-sized instance: enough helpers and traffic that the
+    /// classification stage dominates and incrementality pays.
+    pub fn bench(helpers: usize, contexts_per_helper: usize) -> SharedHelperApp {
+        SharedHelperApp {
+            name: "sharedbench",
+            helpers: helpers.max(1),
+            contexts_per_helper: contexts_per_helper.max(1),
+            allocs_per_context: 8,
+            accesses_per_alloc: 12,
+            cross_thread_readers: true,
+            bug_helper: 0,
+            bug_context: 0,
+        }
+    }
+
+    /// Total allocation calling contexts (= allocation sites).
+    pub fn contexts(&self) -> usize {
+        self.helpers * self.contexts_per_helper
+    }
+
+    /// Registry index of the planted bug's calling context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bug_helper`/`bug_context` lie outside the model.
+    pub fn bug_site(&self) -> usize {
+        assert!(self.bug_helper < self.helpers && self.bug_context < self.contexts_per_helper);
+        self.bug_helper * self.contexts_per_helper + self.bug_context
+    }
+
+    /// The shared helper function label of `site` (what a per-function
+    /// analysis keys on).
+    pub fn helper_of(&self, site: usize) -> String {
+        format!("helper_{}.c:100", site / self.contexts_per_helper)
+    }
+
+    /// Builds the registry: `contexts()` allocation sites grouped
+    /// `contexts_per_helper` at a time behind shared helper frames,
+    /// plus an ordinary access site (token 0) and the overflowing
+    /// statement (token 1).
+    pub fn registry(&self) -> SiteRegistry {
+        let mut reg = SiteRegistry::new(self.name, Arc::new(FrameTable::new()));
+        for helper in 0..self.helpers {
+            for _ in 0..self.contexts_per_helper {
+                reg.add_alloc_site_via(&format!("helper_{helper}.c:100"));
+            }
+        }
+        reg.add_access_site(self.name, "logic/use.c:210");
+        reg.add_access_site(self.name, "overflow/copy.c:81");
+        reg
+    }
+
+    /// Generates the trace, deterministic per `seed`. `dirty_helper`
+    /// models a localized code change: that helper's contexts allocate
+    /// with perturbed sizes (and access ranges to match), leaving every
+    /// other helper's statement stream byte-identical — the shape an
+    /// incremental re-analysis must exploit.
+    pub fn trace(&self, seed: u64, dirty_helper: Option<usize>) -> Vec<Event> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5AA3ED);
+        let mut events = Vec::new();
+        if self.cross_thread_readers {
+            events.push(Event::SpawnThread);
+        }
+        let use_site = sim_machine::SiteToken(0);
+        let bug_site = sim_machine::SiteToken(1);
+        let bug = self.bug_site();
+        for helper in 0..self.helpers {
+            let size_bump = if dirty_helper == Some(helper) { 8 } else { 0 };
+            for c in 0..self.contexts_per_helper {
+                let site = helper * self.contexts_per_helper + c;
+                let slot = site;
+                let base_size = 16 + ((site as u64 * 7) % 16) * 8 + size_bump;
+                for round in 0..self.allocs_per_context {
+                    let size = base_size + u64::from(round % 2) * 8;
+                    events.push(Event::Malloc {
+                        thread: 0,
+                        site,
+                        size,
+                        slot,
+                    });
+                    for _ in 0..self.accesses_per_alloc {
+                        // Offsets stay under the smallest size this slot
+                        // ever holds, so the summarized path proves them.
+                        let offset = rng.gen_range(0..base_size.min(16) / 8) * 8;
+                        let thread = if self.cross_thread_readers && rng.gen_bool(0.5) {
+                            1
+                        } else {
+                            0
+                        };
+                        events.push(Event::Access {
+                            thread,
+                            slot,
+                            offset,
+                            len: 8,
+                            kind: AccessKind::Read,
+                            site: use_site,
+                        });
+                    }
+                    if site == bug && round + 1 == self.allocs_per_context {
+                        events.push(Event::OverflowAccess {
+                            thread: 0,
+                            slot,
+                            kind: AccessKind::Write,
+                            site: bug_site,
+                        });
+                    }
+                }
+                events.push(Event::free(slot));
+            }
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_groups_contexts_behind_shared_helpers() {
+        let app = SharedHelperApp::standard();
+        let reg = app.registry();
+        assert_eq!(reg.alloc_site_count(), app.contexts());
+        // Contexts of one helper share the innermost frame; contexts of
+        // different helpers do not.
+        let a = reg.alloc_site(0).context.first_level();
+        let b = reg.alloc_site(1).context.first_level();
+        let other = reg.alloc_site(app.contexts_per_helper).context.first_level();
+        assert_eq!(a, b);
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn trace_is_deterministic_and_carries_exactly_one_overflow() {
+        let app = SharedHelperApp::standard();
+        assert_eq!(app.trace(3, None), app.trace(3, None));
+        let overflows = app
+            .trace(1, None)
+            .iter()
+            .filter(|e| matches!(e, Event::OverflowAccess { .. }))
+            .count();
+        assert_eq!(overflows, 1);
+    }
+
+    #[test]
+    fn dirty_helper_only_perturbs_its_own_statements() {
+        let app = SharedHelperApp::standard();
+        let clean = app.trace(1, None);
+        let dirty = app.trace(1, Some(3));
+        assert_eq!(clean.len(), dirty.len());
+        let changed: Vec<usize> = clean
+            .iter()
+            .zip(&dirty)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!changed.is_empty(), "the dirty helper must change");
+        // Every changed event touches a slot owned by helper 3.
+        let lo = 3 * app.contexts_per_helper;
+        let hi = lo + app.contexts_per_helper;
+        for i in changed {
+            let slot = match dirty[i] {
+                Event::Malloc { slot, .. } | Event::Access { slot, .. } => slot,
+                ref other => panic!("unexpected changed event {other:?}"),
+            };
+            assert!((lo..hi).contains(&slot), "event {i} outside helper 3");
+        }
+    }
+}

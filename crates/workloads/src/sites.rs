@@ -104,6 +104,35 @@ impl SiteRegistry {
         }
     }
 
+    /// Adds an allocation site whose *innermost* frame is the shared
+    /// allocation helper `function` (e.g. `"xmalloc.c:100"`), returning
+    /// its index. Distinct sites through the same helper share the
+    /// malloc-invoking frame but keep distinct caller chains and keys —
+    /// the shape that makes a per-function analysis lump contexts
+    /// together while a context-sensitive one can tell them apart.
+    pub fn add_alloc_site_via(&mut self, function: &str) -> usize {
+        let index = self.alloc_sites.len();
+        let locations = [
+            // Innermost frame: the shared helper's malloc statement.
+            format!("{}/alloc/{function}", self.app),
+            // Distinct caller chain per site.
+            format!("{}/caller/ctx_{index}.c:{}", self.app, 300 + index),
+            format!("{}/main.c:42", self.app),
+        ];
+        let context =
+            CallingContext::from_locations(&self.frames, locations.iter().map(String::as_str));
+        let key = ContextKey::new(
+            context.first_level().expect("three frames"),
+            0x40 + (index as u64) * 0x10,
+        );
+        self.alloc_sites.push(AllocSite {
+            index,
+            key,
+            context,
+        });
+        index
+    }
+
     /// The allocation site at `index`.
     ///
     /// # Panics
@@ -187,6 +216,21 @@ mod tests {
         // Depth below 2 is clamped.
         let j = reg.add_alloc_site(0);
         assert_eq!(reg.alloc_site(j).context.depth(), 2);
+    }
+
+    #[test]
+    fn shared_helper_sites_share_the_innermost_frame_only() {
+        let frames = Arc::new(FrameTable::new());
+        let mut reg = SiteRegistry::new("shapp", frames);
+        let a = reg.add_alloc_site_via("xmalloc.c:100");
+        let b = reg.add_alloc_site_via("xmalloc.c:100");
+        let c = reg.add_alloc_site(4);
+        let (sa, sb, sc) = (reg.alloc_site(a), reg.alloc_site(b), reg.alloc_site(c));
+        // Same allocation function, different contexts and keys.
+        assert_eq!(sa.context.first_level(), sb.context.first_level());
+        assert_ne!(sa.context, sb.context);
+        assert_ne!(sa.key, sb.key);
+        assert_ne!(sa.context.first_level(), sc.context.first_level());
     }
 
     #[test]

@@ -9,12 +9,19 @@
 //!
 //! 1. run the static analysis over a workload's trace offline,
 //! 2. persist the resulting risk report,
-//! 3. start CSOD with the report's verdicts as sampling priors, and
-//! 4. compare watch-slot spending against an unprimed run.
+//! 3. start CSOD with the report's verdicts as sampling priors,
+//! 4. compare watch-slot spending against an unprimed run,
+//! 5. show why verdicts are keyed by *calling context* rather than
+//!    allocation site (a shared helper is safe from most callers and
+//!    buggy from one), and
+//! 6. feed the static verdicts into the fleet priors, where runtime
+//!    trap evidence always outranks a static proven-safe claim and
+//!    proven coverage buys the fleet a sampling-budget discount.
 
 use csod::analyze::{analyze, RiskReport};
 use csod::core::{CsodConfig, RiskClass};
-use csod::workloads::{BuggyApp, ToolSpec, TraceRunner};
+use csod::fleet::{BudgetCoordinator, BudgetPolicy, FleetPriors};
+use csod::workloads::{BuggyApp, SharedHelperApp, ToolSpec, TraceRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let app = BuggyApp::by_name("heartbleed").expect("built-in app");
@@ -65,5 +72,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         primed.prior_availability_skips, primed.proven_safe_overflows
     );
     assert_eq!(primed.proven_safe_overflows, 0);
+
+    // 5. Context sensitivity: a helper shared by many callers. Per
+    //    function, the whole helper looks suspicious (one caller
+    //    overflows through it); per calling context, every innocent
+    //    caller is proven safe and only the buggy caller stays hot.
+    let shared = SharedHelperApp::standard();
+    let shared_registry = shared.registry();
+    let shared_report = analyze(&shared_registry, &shared.trace(7, None));
+    let (ctx_safe, ctx_sus, _) = shared_report.census();
+    let (fn_safe, fn_sus, _) = shared_report.function_census();
+    println!(
+        "\nshared-helper app: per-context {ctx_safe} safe / {ctx_sus} suspicious, \
+         per-function view {fn_safe} safe / {fn_sus} suspicious"
+    );
+    assert!(ctx_safe > fn_safe, "context sensitivity must prove strictly more");
+
+    // 6. Close the fleet loop: static verdicts become priors evidence.
+    //    A later runtime trap on a context the analysis called safe
+    //    must win — the effective class is worst-of-both.
+    let mut fleet_priors = FleetPriors::new();
+    for v in &shared_report.verdicts {
+        fleet_priors.record_static(&v.signature, v.class);
+    }
+    let trapped = shared_report
+        .verdicts
+        .iter()
+        .find(|v| v.class == RiskClass::ProvenSafe)
+        .expect("some proven-safe context")
+        .signature
+        .clone();
+    fleet_priors.observe(&trapped, 1);
+    assert_eq!(fleet_priors.static_class(&trapped), Some(RiskClass::ProvenSafe));
+    assert_eq!(fleet_priors.effective_class(&trapped), Some(RiskClass::Suspicious));
+    println!("trap on {trapped}: static says ProvenSafe, fleet says Suspicious — trap wins");
+
+    let proven = shared_report
+        .verdicts
+        .iter()
+        .filter(|v| {
+            v.class == RiskClass::ProvenSafe
+                && fleet_priors.effective_class(&v.signature) == Some(RiskClass::ProvenSafe)
+        })
+        .count();
+    let mut budget = BudgetCoordinator::new(BudgetPolicy::default());
+    budget.apply_static_priors(proven, shared_report.verdicts.len());
+    println!(
+        "{proven}/{} contexts stand proven → workers sample at {} ppm of nominal",
+        shared_report.verdicts.len(),
+        budget.worker_scale_ppm()
+    );
     Ok(())
 }
